@@ -1,0 +1,221 @@
+// Command apicmp regenerates the paper's Section 3 API-complexity
+// comparison: the same task — every process writes 100 doubles to
+// non-overlapping offsets of a shared 1-D array — expressed against HDF5
+// (Figure 4), ADIOS (Figure 5) and pMEMCPY (Figure 3), plus this
+// repository's Go rendering of the pMEMCPY program. For each program it
+// counts non-blank source lines and lexical tokens and reports the reduction
+// relative to HDF5, next to the paper's published counts (42 lines/253
+// tokens for HDF5, 24/164 for ADIOS, 16/132 for pMEMCPY).
+package main
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// The three programs exactly as printed in the paper (Figures 3-5).
+
+const hdf5C = `#include <hdf5.h>
+int main (int argc, char **argv) {
+  int nprocs, rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  hid_t file_id, dset_id;
+  hid_t filespace, memspace;
+  hsize_t count = 100;
+  hsize_t offset = rank*100;
+  hsize_t dimsf = nprocs*100;
+  hid_t plist_id;
+  herr_t status;
+  char *path = argv[1];
+  int data[100];
+  plist_id = H5Pcreate(H5P_FILE_ACCESS);
+  H5Pset_fapl_mpio(plist_id,
+    MPI_COMM_WORLD, MPI_INFO_NULL);
+  file_id = H5Fcreate(path,
+    H5F_ACC_TRUNC, H5P_DEFAULT, plist_id);
+  H5Pclose(plist_id);
+  filespace = H5Screate_simple(1, &dimsf, NULL);
+  dset_id = H5Dcreate(file_id, "dataset",
+    H5T_NATIVE_INT, filespace, H5P_DEFAULT,
+    H5P_DEFAULT, H5P_DEFAULT);
+  H5Sclose(filespace);
+  memspace = H5Screate_simple(1, &count, NULL);
+  filespace = H5Dget_space(dset_id);
+  H5Sselect_hyperslab(filespace,
+    H5S_SELECT_SET, &offset,
+    NULL, &count, NULL);
+  plist_id = H5Pcreate(H5P_DATASET_XFER);
+  status = H5Dwrite(dset_id, H5T_NATIVE_INT,
+    memspace, filespace, plist_id, data);
+  H5Dclose(dset_id);
+  H5Sclose(filespace);
+  H5Sclose(memspace);
+  H5Pclose(plist_id);
+  H5Fclose(file_id);
+  MPI_Finalize();
+  return 0;
+}`
+
+const adiosC = `#include <adios.h>
+int main(int argc, char **argv) {
+    int rank, nprocs;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    char *path = argv[1];
+    char *config = argv[2];
+    double data[100];
+    int64_t adios_handle;
+    size_t count = 100;
+    size_t offset = 100*rank;
+    size_t dimsf = 100*nprocs;
+    adios_init(config, MPI_COMM_WORLD);
+    adios_open (&adios_handle, "dataset",
+      path, "w", MPI_COMM_WORLD);
+    adios_write (adios_handle, "count", &count);
+    adios_write (adios_handle, "dimsf", &dimsf);
+    adios_write (adios_handle, "offset", &offset);
+    adios_write (adios_handle, "A", data);
+    adios_close (adios_handle);
+    adios_finalize (rank);
+    MPI_Finalize ();
+    return 0;
+}`
+
+const pmemcpyCpp = `#include <pmemcpy/pmemcpy.h>
+int main(int argc, char** argv) {
+    int rank, nprocs;
+    MPI_Init(&argc,&argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    pmemcpy::PMEM pmem;
+    size_t count = 100;
+    size_t off = 100*rank;
+    size_t dimsf = 100*nprocs;
+    char *path = argv[1];
+    double data[100] = {0};
+    pmem.mmap(path, MPI_COMM_WORLD);
+    pmem.alloc<double>("A", 1, &dimsf);
+    pmem.store<double>("A", data, 1, &off, &count);
+    MPI_Finalize();
+}`
+
+// The same program against this repository's public Go API.
+const pmemcpyGo = `func write(c *pmemcpy.Comm, n *pmemcpy.Node, path string) error {
+	count := uint64(100)
+	off := count * uint64(c.Rank())
+	dimsf := count * uint64(c.Size())
+	data := make([]float64, count)
+	pmem, err := pmemcpy.Mmap(c, n, path, nil)
+	if err != nil {
+		return err
+	}
+	pmemcpy.Alloc[float64](pmem, "A", dimsf)
+	pmemcpy.StoreSub(pmem, "A", data, []uint64{off}, []uint64{count})
+	return pmem.Munmap()
+}`
+
+func main() {
+	type row struct {
+		name         string
+		src          string
+		paperLines   int
+		paperTokens  int
+		publishedRef string
+	}
+	rows := []row{
+		{"HDF5 (Fig 4, C)", hdf5C, 42, 253, "paper"},
+		{"ADIOS (Fig 5, C)", adiosC, 24, 164, "paper"},
+		{"pMEMCPY (Fig 3, C++)", pmemcpyCpp, 16, 132, "paper"},
+		{"pMEMCPY (this repo, Go)", pmemcpyGo, 0, 0, "-"},
+	}
+
+	fmt.Println("SECTION 3 API COMPLEXITY — write 100 doubles/process to a shared 1-D array")
+	fmt.Printf("%-26s %8s %8s %14s %14s %12s\n",
+		"PROGRAM", "LINES", "TOKENS", "PAPER LINES", "PAPER TOKENS", "VS HDF5")
+	fmt.Println(strings.Repeat("-", 88))
+
+	baseTokens := 0
+	for i, r := range rows {
+		lines := countLines(r.src)
+		tokens := countTokens(r.src)
+		if i == 0 {
+			baseTokens = tokens
+		}
+		reduction := 100 * (1 - float64(tokens)/float64(baseTokens))
+		paperL, paperT := "-", "-"
+		if r.paperLines > 0 {
+			paperL = fmt.Sprintf("%d", r.paperLines)
+			paperT = fmt.Sprintf("%d", r.paperTokens)
+		}
+		fmt.Printf("%-26s %8d %8d %14s %14s %11.0f%%\n",
+			r.name, lines, tokens, paperL, paperT, reduction)
+	}
+	fmt.Println("\n(The paper reports a 92% token reduction for pMEMCPY vs HDF5 by its own")
+	fmt.Println("counting; by the lexical count used here the reduction is ~50%, and the")
+	fmt.Println("Go version lands in the same band as the paper's C++ pMEMCPY program.)")
+}
+
+// countLines counts non-blank lines.
+func countLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// countTokens lexes src into identifier/number/string/operator tokens, the
+// usual programming-effort proxy.
+func countTokens(src string) int {
+	tokens := 0
+	i := 0
+	rs := []rune(src)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || r == '_':
+			tokens++
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '_') {
+				i++
+			}
+		case unicode.IsDigit(r):
+			tokens++
+			for i < len(rs) && (unicode.IsDigit(rs[i]) || rs[i] == '.' || rs[i] == 'x' ||
+				(rs[i] >= 'a' && rs[i] <= 'f') || (rs[i] >= 'A' && rs[i] <= 'F')) {
+				i++
+			}
+		case r == '"' || r == '\'':
+			quote := r
+			tokens++
+			i++
+			for i < len(rs) && rs[i] != quote {
+				if rs[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+		default:
+			// Operators and punctuation: one token per character group of
+			// common multi-char operators.
+			tokens++
+			if i+1 < len(rs) {
+				two := string(rs[i : i+2])
+				switch two {
+				case "->", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", ":=", "++", "--":
+					i++
+				}
+			}
+			i++
+		}
+	}
+	return tokens
+}

@@ -1,0 +1,232 @@
+// Command pmembench regenerates the paper's evaluation: Figure 6 (writes)
+// and Figure 7 (reads) of the 40 GB 3-D domain workload across ADIOS,
+// NetCDF-4, pNetCDF, PMCPY-A and PMCPY-B, plus the design-choice ablations
+// catalogued in DESIGN.md (staging, layout, MAP_SYNC, serializer, fill mode).
+//
+// The workload runs at full modelled size on any host: the machine profile
+// is scaled so the physical footprint stays within -phys bytes while virtual
+// times correspond to the modelled -size (see sim.Config.Scale).
+//
+// Examples:
+//
+//	pmembench -fig all
+//	pmembench -fig 6 -procs 8,16,24,32,48 -runs 3
+//	pmembench -ablation serializer -procs 24
+//	pmembench -fig all -csv results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmemcpy/internal/adios"
+	"pmemcpy/internal/core"
+	"pmemcpy/internal/harness"
+	"pmemcpy/internal/netcdf"
+	"pmemcpy/internal/pio"
+	"pmemcpy/internal/pnetcdf"
+	"pmemcpy/internal/sim"
+	"pmemcpy/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", `figure to regenerate: "6" (writes), "7" (reads), "all", or "none"`)
+		procs     = flag.String("procs", "8,16,24,32,48", "comma-separated process counts")
+		size      = flag.Float64("size", 40e9, "modelled workload bytes (the paper: 40 GB)")
+		phys      = flag.Float64("phys", 256e6, "physical memory budget for the data (sets the profile scale)")
+		vars      = flag.Int("vars", 10, "number of 3-D rectangles")
+		runs      = flag.Int("runs", 1, "repetitions to average (the paper: 3)")
+		verify    = flag.Bool("verify", false, "verify every byte read back")
+		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked")
+		pattern   = flag.String("pattern", "same", "read access pattern: same | restart | plane")
+		readprocs = flag.Int("readprocs", 0, "reader count for the restart pattern (0 = same as writers)")
+		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	rankCounts, err := parseProcs(*procs)
+	if err != nil {
+		fatal(err)
+	}
+	scale := *size / *phys
+	if scale < 1 {
+		scale = 1
+	}
+	pat, err := workload.ParsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	base := harness.Params{
+		TotalBytes: int64(*size / scale),
+		Vars:       *vars,
+		Config:     sim.DefaultConfig().Scale(scale),
+		Verify:     *verify,
+		Runs:       *runs,
+		Pattern:    pat,
+		ReadRanks:  *readprocs,
+	}
+	fmt.Printf("pmembench: modelled %.1f GB across %d rectangles, profile scale %.0fx (physical %.0f MB)\n\n",
+		*size/1e9, *vars, scale, float64(base.TotalBytes)/1e6)
+
+	var results []harness.Result
+	switch {
+	case *ablation != "":
+		results, err = runAblation(*ablation, rankCounts, base)
+	default:
+		libs := []pio.Library{
+			adios.Library{},
+			netcdf.Library{},
+			pnetcdf.Library{},
+			core.Library{},
+			core.Library{MapSync: true},
+		}
+		results, err = harness.Sweep(libs, rankCounts, base)
+		if err == nil {
+			printFigures(*fig, results)
+			printClaims(results, rankCounts)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *ablation != "" {
+		fmt.Printf("ABLATION %q (writes):\n", *ablation)
+		harness.Table(os.Stdout, results, "write")
+		fmt.Printf("\nABLATION %q (reads):\n", *ablation)
+		harness.Table(os.Stdout, results, "read")
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		harness.CSV(f, results)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvPath)
+	}
+}
+
+func printFigures(fig string, results []harness.Result) {
+	if fig == "6" || fig == "all" {
+		fmt.Println("FIGURE 6 — I/O LIBRARY VS # PROCESSES (WRITES), time (s):")
+		harness.Table(os.Stdout, results, "write")
+		fmt.Println()
+	}
+	if fig == "7" || fig == "all" {
+		fmt.Println("FIGURE 7 — I/O LIBRARY VS # PROCESSES (READS), time (s):")
+		harness.Table(os.Stdout, results, "read")
+		fmt.Println()
+	}
+}
+
+// printClaims compares the measured series against the paper's headline
+// statements at the reference process count (24 if present).
+func printClaims(results []harness.Result, rankCounts []int) {
+	ref := rankCounts[0]
+	for _, n := range rankCounts {
+		if n == 24 {
+			ref = 24
+		}
+	}
+	at := func(lib string) (harness.Result, bool) {
+		for _, r := range results {
+			if r.Library == lib && r.Ranks == ref {
+				return r, true
+			}
+		}
+		return harness.Result{}, false
+	}
+	a, okA := at("PMCPY-A")
+	ad, okAd := at("ADIOS")
+	nc, okNc := at("NetCDF")
+	pn, okPn := at("pNetCDF")
+	b, okB := at("PMCPY-B")
+	if !(okA && okAd && okNc && okPn && okB) {
+		return
+	}
+	fmt.Printf("PAPER CLAIMS AT %d PROCS (measured):\n", ref)
+	fmt.Printf("  writes: PMCPY-A vs ADIOS   %.2fx faster (paper: ~1.15x)\n", harness.Speedup(ad, a, "write"))
+	fmt.Printf("  writes: PMCPY-A vs NetCDF  %.2fx faster (paper: ~2.5x)\n", harness.Speedup(nc, a, "write"))
+	fmt.Printf("  writes: PMCPY-A vs pNetCDF %.2fx faster (paper: ~2.5x)\n", harness.Speedup(pn, a, "write"))
+	fmt.Printf("  reads:  PMCPY-A vs ADIOS   %.2fx faster (paper: ~2x)\n", harness.Speedup(ad, a, "read"))
+	fmt.Printf("  reads:  PMCPY-A vs NetCDF  %.2fx faster (paper: ~5x)\n", harness.Speedup(nc, a, "read"))
+	fmt.Printf("  reads:  PMCPY-B vs ADIOS   %.2fx (paper: ~1x, MAP_SYNC erases the benefit)\n",
+		harness.Speedup(ad, b, "read"))
+}
+
+func runAblation(name string, rankCounts []int, base harness.Params) ([]harness.Result, error) {
+	var libs []pio.Library
+	switch name {
+	case "staging":
+		libs = []pio.Library{
+			named{core.Library{}, "direct"},
+			named{core.Library{Staged: true}, "staged"},
+		}
+	case "layout":
+		libs = []pio.Library{
+			named{core.Library{}, "hashtable"},
+			named{core.Library{Layout: core.LayoutHierarchy}, "hierarchy"},
+		}
+	case "mapsync":
+		libs = []pio.Library{core.Library{}, core.Library{MapSync: true}}
+	case "serializer":
+		libs = []pio.Library{
+			named{core.Library{Codec: "bp4"}, "bp4"},
+			named{core.Library{Codec: "flat"}, "flat"},
+			named{core.Library{Codec: "cbin"}, "cbin"},
+			named{core.Library{Codec: "raw"}, "raw"},
+		}
+	case "fill":
+		libs = []pio.Library{
+			named{netcdf.Library{}, "nofill"},
+			named{netcdf.Library{Fill: true}, "fill"},
+		}
+	case "chunked":
+		libs = []pio.Library{
+			named{netcdf.Library{}, "contiguous"},
+			named{netcdf.Library{Chunked: true}, "chunked"},
+			named{netcdf.Library{Chunked: true, Filter: "shuffle+rle"}, "chunked+flt"},
+		}
+	default:
+		return nil, fmt.Errorf("unknown ablation %q", name)
+	}
+	return harness.Sweep(libs, rankCounts, base)
+}
+
+// named overrides a library's display name for ablation tables.
+type named struct {
+	pio.Library
+	name string
+}
+
+func (n named) Name() string { return n.name }
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid process count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no process counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmembench:", err)
+	os.Exit(1)
+}

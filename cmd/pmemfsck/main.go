@@ -1,0 +1,195 @@
+// Command pmemfsck exercises pMEMCPY's crash-consistency machinery: it runs
+// a transactional key-value workload against the emulated device, injects a
+// power failure after every possible persist point, recovers the pool, and
+// checks the recovered state against the set of states the undo-log protocol
+// permits (atomicity: committed data intact, uncommitted data absent or
+// fully rolled back).
+//
+// Examples:
+//
+//	pmemfsck                 # sweep all crash points, all adversary modes
+//	pmemfsck -mode random -seed 7
+//	pmemfsck -v              # report every crash point's outcome
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/sim"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "all", `crash adversary: "loseall", "keepall", "random", or "all"`)
+		seed    = flag.Int64("seed", 1, "seed for the random adversary")
+		verbose = flag.Bool("v", false, "report every crash point")
+	)
+	flag.Parse()
+
+	modes := map[string][]pmem.CrashMode{
+		"loseall": {pmem.CrashLoseAll},
+		"keepall": {pmem.CrashKeepAll},
+		"random":  {pmem.CrashRandom},
+		"all":     {pmem.CrashLoseAll, pmem.CrashKeepAll, pmem.CrashRandom},
+	}[*mode]
+	if modes == nil {
+		fmt.Fprintf(os.Stderr, "pmemfsck: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	total, failures := 0, 0
+	for _, m := range modes {
+		points, bad := sweep(m, *seed, *verbose)
+		fmt.Printf("mode %-8v: %3d crash points checked, %d violations\n", modeName(m), points, bad)
+		total += points
+		failures += bad
+	}
+	if failures > 0 {
+		fmt.Printf("FAIL: %d of %d crash points violated consistency\n", failures, total)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: all %d crash points recovered to consistent states\n", total)
+}
+
+func modeName(m pmem.CrashMode) string {
+	switch m {
+	case pmem.CrashLoseAll:
+		return "loseall"
+	case pmem.CrashKeepAll:
+		return "keepall"
+	default:
+		return "random"
+	}
+}
+
+// sweep runs the update+insert workload, crashing after the k-th persist for
+// every k until the workload completes without injection firing.
+func sweep(mode pmem.CrashMode, seed int64, verbose bool) (points, violations int) {
+	rng := rand.New(rand.NewSource(seed))
+	for k := int64(0); ; k++ {
+		points++
+		completed, err := crashPoint(mode, k, rng, verbose)
+		if err != nil {
+			violations++
+			fmt.Printf("  k=%d: VIOLATION: %v\n", k, err)
+		}
+		if completed {
+			return points, violations
+		}
+		if k > 5000 {
+			fmt.Println("  sweep did not terminate (workload never completes)")
+			violations++
+			return points, violations
+		}
+	}
+}
+
+// crashPoint builds a fresh pool with two committed keys, then (under
+// injection) updates one and inserts another, crashes, recovers, and checks
+// the permitted states.
+func crashPoint(mode pmem.CrashMode, k int64, rng *rand.Rand, verbose bool) (completed bool, err error) {
+	machine := sim.NewMachine(sim.DefaultConfig())
+	machine.SetConcurrency(1)
+	dev := pmem.New(machine, 16<<20, pmem.WithCrashTracking())
+	mp, err := pmem.NewMapping(dev, 0, 16<<20, false)
+	if err != nil {
+		return false, err
+	}
+	clk := new(sim.Clock)
+	pool, err := pmdk.Create(clk, mp, nil)
+	if err != nil {
+		return false, err
+	}
+	tx, err := pool.Begin(clk)
+	if err != nil {
+		return false, err
+	}
+	htID, err := pmdk.CreateHashtable(tx, 16)
+	if err != nil {
+		return false, err
+	}
+	root, _ := pool.Root()
+	if err := tx.WriteU64(root, uint64(htID)); err != nil {
+		return false, err
+	}
+	if err := tx.Commit(); err != nil {
+		return false, err
+	}
+	ht, err := pmdk.OpenHashtable(clk, pool, htID)
+	if err != nil {
+		return false, err
+	}
+	if err := ht.Put(clk, []byte("stable"), []byte("old-stable")); err != nil {
+		return false, err
+	}
+	if err := ht.Put(clk, []byte("victim"), []byte("old-victim")); err != nil {
+		return false, err
+	}
+
+	dev.FailAfterPersists(k)
+	err1 := ht.Put(clk, []byte("victim"), []byte("new-victim"))
+	var err2 error
+	if err1 == nil {
+		err2 = ht.Put(clk, []byte("fresh"), []byte("new-fresh"))
+	}
+	completed = err1 == nil && err2 == nil
+	for _, e := range []error{err1, err2} {
+		if e != nil && !errors.Is(e, pmem.ErrFailed) {
+			return completed, fmt.Errorf("unexpected workload error: %w", e)
+		}
+	}
+
+	dev.Crash(mode, rng)
+	pool2, err := pmdk.Open(clk, mp)
+	if err != nil {
+		return completed, fmt.Errorf("recovery failed: %w", err)
+	}
+	ht2, err := pmdk.OpenHashtable(clk, pool2, htID)
+	if err != nil {
+		return completed, fmt.Errorf("reopening table failed: %w", err)
+	}
+
+	check := func(key string, allowed ...string) error {
+		v, ok, err := ht2.Get(clk, []byte(key))
+		if err != nil {
+			return fmt.Errorf("Get(%s): %w", key, err)
+		}
+		for _, a := range allowed {
+			if a == "" && !ok {
+				return nil
+			}
+			if ok && string(v) == a {
+				return nil
+			}
+		}
+		return fmt.Errorf("Get(%s) = (%q, %v); allowed %q", key, v, ok, allowed)
+	}
+	if err := check("stable", "old-stable"); err != nil {
+		return completed, err
+	}
+	if err := check("victim", "old-victim", "new-victim"); err != nil {
+		return completed, err
+	}
+	if err := check("fresh", "", "new-fresh"); err != nil {
+		return completed, err
+	}
+	if completed {
+		if err := check("victim", "new-victim"); err != nil {
+			return completed, fmt.Errorf("committed update lost: %w", err)
+		}
+		if err := check("fresh", "new-fresh"); err != nil {
+			return completed, fmt.Errorf("committed insert lost: %w", err)
+		}
+	}
+	if verbose {
+		st := pool2.Stats()
+		fmt.Printf("  k=%-4d recovered=%d completed=%v\n", k, st.Recovered, completed)
+	}
+	return completed, nil
+}

@@ -1,0 +1,143 @@
+package pmemcpy_test
+
+import (
+	"fmt"
+	"log"
+
+	"pmemcpy"
+)
+
+// Example reproduces the paper's Figure 3: each of four processes writes 100
+// doubles to non-overlapping offsets of a shared 1-D array in node-local
+// PMEM.
+func Example() {
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
+	_, err := pmemcpy.Run(node, 4, func(c *pmemcpy.Comm) error {
+		pmem, err := pmemcpy.Mmap(c, node, "/example.pool", nil)
+		if err != nil {
+			return err
+		}
+		count := uint64(100)
+		off := count * uint64(c.Rank())
+		dimsf := count * uint64(c.Size())
+
+		data := make([]float64, count)
+		for i := range data {
+			data[i] = float64(off) + float64(i)
+		}
+		if err := pmemcpy.Alloc[float64](pmem, "A", dimsf); err != nil {
+			return err
+		}
+		if err := pmemcpy.StoreSub(pmem, "A", data, []uint64{off}, []uint64{count}); err != nil {
+			return err
+		}
+		return pmem.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read the dimensions back (stored automatically under "A#dims").
+	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		pmem, err := pmemcpy.Mmap(c, node, "/example.pool", nil)
+		if err != nil {
+			return err
+		}
+		dims, err := pmemcpy.LoadDims(pmem, "A")
+		if err != nil {
+			return err
+		}
+		fmt.Println("dims:", dims)
+		return pmem.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: dims: [400]
+}
+
+// ExampleStore shows the scalar key-value interface.
+func ExampleStore() {
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, node, "/kv.pool", nil)
+		if err != nil {
+			return err
+		}
+		if err := pmemcpy.Store(p, "timestep", int64(128)); err != nil {
+			return err
+		}
+		v, err := pmemcpy.Load[int64](p, "timestep")
+		if err != nil {
+			return err
+		}
+		fmt.Println("timestep:", v)
+		return p.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: timestep: 128
+}
+
+// ExampleStoreStruct persists a nested structure with dynamically sized
+// arrays — the compound-type shape the paper notes HDF5 cannot express.
+func ExampleStoreStruct() {
+	type Sensor struct {
+		Name     string
+		Readings []float64
+	}
+	type Station struct {
+		ID      uint64
+		Sensors []Sensor
+	}
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, node, "/st.pool", nil)
+		if err != nil {
+			return err
+		}
+		in := Station{ID: 7, Sensors: []Sensor{
+			{Name: "thermo", Readings: []float64{21.5, 21.7}},
+			{Name: "baro", Readings: []float64{1013.2}},
+		}}
+		if err := pmemcpy.StoreStruct(p, "station7", &in); err != nil {
+			return err
+		}
+		var out Station
+		if err := pmemcpy.LoadStruct(p, "station7", &out); err != nil {
+			return err
+		}
+		fmt.Printf("station %d, %s reads %.1f\n", out.ID, out.Sensors[0].Name, out.Sensors[0].Readings[1])
+		return p.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: station 7, thermo reads 21.7
+}
+
+// ExampleMinMax queries value statistics from BP4 block characteristics
+// without reading the data.
+func ExampleMinMax() {
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, node, "/mm.pool", nil)
+		if err != nil {
+			return err
+		}
+		if err := pmemcpy.StoreSlice(p, "field", []float64{4.5, -2.25, 9.75, 0}, 4); err != nil {
+			return err
+		}
+		mn, mx, err := pmemcpy.MinMax(p, "field")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("range [%g, %g]\n", mn, mx)
+		return p.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: range [-2.25, 9.75]
+}

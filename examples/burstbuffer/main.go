@@ -1,0 +1,119 @@
+// Burst-buffer tiering: the machine architecture of the paper's Figure 1 in
+// action. Compute ranks absorb an output burst into node-local PMEM at PMEM
+// speed; a flusher then drains the data asynchronously to the shared burst
+// buffer / parallel filesystem "in the same format as it was produced",
+// evicting it from PMEM to make room for the next burst; finally the data is
+// staged back in and verified. The virtual times show why the PMEM tier is
+// worth having: the burst lands an order of magnitude faster than the PFS
+// could accept it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pmemcpy"
+)
+
+const (
+	ranks = 8
+	per   = 64 << 10 // float64 elements per rank
+)
+
+func main() {
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 512<<20)
+	pfs := pmemcpy.NewPFS(0, 0) // default: 2 GB/s uplink, 500 µs latency
+
+	// --- Burst phase: ranks dump state into PMEM at device speed ---
+	var burstT time.Duration
+	_, err := pmemcpy.Run(node, ranks, func(c *pmemcpy.Comm) error {
+		pm, err := pmemcpy.Mmap(c, node, "/tier.pool", nil)
+		if err != nil {
+			return err
+		}
+		t0 := c.Clock().Now()
+		gdim := uint64(per * ranks)
+		off := uint64(per * c.Rank())
+		vals := make([]float64, per)
+		for i := range vals {
+			vals[i] = float64(off) + float64(i)
+		}
+		if err := pmemcpy.Alloc[float64](pm, "field", gdim); err != nil {
+			return err
+		}
+		if err := pmemcpy.StoreSub(pm, "field", vals, []uint64{off}, []uint64{per}); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			burstT = c.Clock().Now() - t0
+		}
+		return pm.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Drain phase: the flusher agent ships PMEM contents to the PFS and
+	// evicts them, freeing the buffer for the next burst ---
+	var drainT time.Duration
+	var moved int64
+	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		pm, err := pmemcpy.Mmap(c, node, "/tier.pool", nil)
+		if err != nil {
+			return err
+		}
+		fl := pmemcpy.NewFlusher(pfs)
+		fl.Evict = true
+		t0 := c.Clock().Now()
+		if moved, err = fl.DrainStore(pm, "bb/step0/"); err != nil {
+			return err
+		}
+		drainT = c.Clock().Now() - t0
+		keys, err := pm.Keys()
+		if err != nil {
+			return err
+		}
+		if len(keys) != 0 {
+			return fmt.Errorf("PMEM not drained: %v", keys)
+		}
+		return pm.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Restage phase: pull the data back from the PFS and verify ---
+	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		pm, err := pmemcpy.Mmap(c, node, "/tier.pool", nil)
+		if err != nil {
+			return err
+		}
+		if _, err := pmemcpy.Restore(pm, pfs, "bb/step0/"); err != nil {
+			return err
+		}
+		vals, dims, err := pmemcpy.LoadSlice[float64](pm, "field")
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v != float64(i) {
+				return fmt.Errorf("field[%d] = %g after restage", i, v)
+			}
+		}
+		fmt.Printf("restaged and verified field dims=%v (%d elements)\n", dims, len(vals))
+		return pm.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("burst into PMEM: %v (%d ranks)\n", burstT, ranks)
+	fmt.Printf("drain to PFS:    %v (%.1f MB moved, evicted from PMEM)\n",
+		drainT, float64(moved)/1e6)
+	fmt.Printf("PMEM absorbed the burst %.0fx faster than the PFS drain\n",
+		float64(drainT)/float64(burstT))
+}

@@ -1,0 +1,3 @@
+module pmemcpy
+
+go 1.24

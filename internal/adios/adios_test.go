@@ -1,0 +1,12 @@
+package adios_test
+
+import (
+	"testing"
+
+	"pmemcpy/internal/adios"
+	"pmemcpy/internal/pio/piotest"
+)
+
+func TestConformance(t *testing.T) {
+	piotest.RunConformance(t, adios.Library{})
+}

@@ -1,0 +1,86 @@
+package adios
+
+import (
+	"testing"
+
+	"pmemcpy/internal/pio"
+	"pmemcpy/internal/serial"
+)
+
+func sampleBlocks() []blockMeta {
+	return []blockMeta{
+		{name: "rect0", offs: []uint64{0, 0}, counts: []uint64{4, 8}, fileOff: 64, encLen: 300},
+		{name: "rect0", offs: []uint64{4, 0}, counts: []uint64{4, 8}, fileOff: 364, encLen: 300},
+		{name: "rect1", offs: []uint64{0}, counts: []uint64{128}, fileOff: 664, encLen: 1100},
+	}
+}
+
+func TestBlockTableRoundTrip(t *testing.T) {
+	in := sampleBlocks()
+	raw := encodeBlockTable(in)
+	out, err := decodeBlockTable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d blocks, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.name != b.name || a.fileOff != b.fileOff || a.encLen != b.encLen {
+			t.Fatalf("block %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for d := range a.offs {
+			if a.offs[d] != b.offs[d] || a.counts[d] != b.counts[d] {
+				t.Fatalf("block %d dims mismatch", i)
+			}
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	vars := []pio.Var{
+		{Name: "rect0", Type: serial.Float64, GlobalDims: []uint64{8, 8}},
+		{Name: "rect1", Type: serial.Int32, GlobalDims: []uint64{128}},
+	}
+	raw, err := encodeIndex(vars, sampleBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVars, gotBlocks, err := decodeIndex(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotVars) != 2 || len(gotBlocks["rect0"]) != 2 || len(gotBlocks["rect1"]) != 1 {
+		t.Fatalf("decoded vars=%d rect0=%d rect1=%d",
+			len(gotVars), len(gotBlocks["rect0"]), len(gotBlocks["rect1"]))
+	}
+	if gotVars["rect1"].Type != serial.Int32 || gotVars["rect0"].GlobalDims[1] != 8 {
+		t.Fatalf("vars = %+v", gotVars)
+	}
+	// Blocks within a variable come back sorted by file offset.
+	if gotBlocks["rect0"][0].fileOff > gotBlocks["rect0"][1].fileOff {
+		t.Fatal("blocks not sorted by file offset")
+	}
+}
+
+func TestIndexRejectsOrphanBlocks(t *testing.T) {
+	vars := []pio.Var{{Name: "known", Type: serial.Float64, GlobalDims: []uint64{4}}}
+	blocks := []blockMeta{{name: "unknown", offs: []uint64{0}, counts: []uint64{4}}}
+	if _, err := encodeIndex(vars, blocks); err == nil {
+		t.Fatal("orphan blocks accepted")
+	}
+}
+
+func TestIndexTruncationRejected(t *testing.T) {
+	vars := []pio.Var{{Name: "v", Type: serial.Float64, GlobalDims: []uint64{4}}}
+	raw, err := encodeIndex(vars, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, len(raw) - 1} {
+		if _, _, err := decodeIndex(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Compact reclaims shadowed blocks of array id: StoreBlock appends, so
+// overwriting a region leaves the older block's storage live but invisible
+// (reads resolve to the latest block covering each element). Compact frees
+// every block whose entire region is contained in a single newer block and
+// rewrites the block list. It returns the number of blocks freed.
+//
+// The containment rule is conservative — a block shadowed only by the union
+// of several newer blocks is kept — so Compact never changes what reads
+// return; the invariant is verified by the tests, which compare full-array
+// contents before and after.
+func (p *PMEM) Compact(id string) (int, error) {
+	if p.st.layout == LayoutHierarchy {
+		return 0, fmt.Errorf("core: Compact requires the hashtable layout")
+	}
+	clk := p.comm.Clock()
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+
+	blocks, ok, err := p.loadBlockList(id)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: %q has no stored blocks", id)
+	}
+
+	// A block i is dead if some newer block j > i contains its region.
+	dead := make([]bool, len(blocks))
+	for i := range blocks {
+		for j := i + 1; j < len(blocks); j++ {
+			if contains(blocks[j].offs, blocks[j].counts, blocks[i].offs, blocks[i].counts) {
+				dead[i] = true
+				break
+			}
+		}
+	}
+	var live []blockRec
+	var victims []blockRec
+	for i, b := range blocks {
+		if dead[i] {
+			victims = append(victims, b)
+		} else {
+			live = append(live, b)
+		}
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+
+	// Publish the pruned list first, then free the storage: a crash between
+	// the two leaks blocks (recoverable garbage) but never dangles pointers.
+	if err := p.putValue(id, encodeBlockList(live)); err != nil {
+		return 0, err
+	}
+	tx, err := p.st.pool.Begin(clk)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range victims {
+		if err := p.st.pool.Free(tx, v.data); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return len(victims), nil
+}
+
+// contains reports whether block (aOffs, aCnts) fully contains (bOffs, bCnts).
+func contains(aOffs, aCnts, bOffs, bCnts []uint64) bool {
+	if len(aOffs) != len(bOffs) {
+		return false
+	}
+	for d := range aOffs {
+		if bOffs[d] < aOffs[d] || bOffs[d]+bCnts[d] > aOffs[d]+aCnts[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pmemcpy/internal/bytesview"
+	"pmemcpy/internal/core"
+	"pmemcpy/internal/serial"
+)
+
+func storeAll(p *core.PMEM, id string, v float64, offs, counts []uint64) error {
+	n := uint64(1)
+	for _, c := range counts {
+		n *= c
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return p.StoreBlock(id, offs, counts, bytesview.Bytes(vals))
+}
+
+func readAll(p *core.PMEM, id string, dims []uint64) ([]byte, error) {
+	n := uint64(8)
+	for _, d := range dims {
+		n *= d
+	}
+	dst := make([]byte, n)
+	offs := make([]uint64, len(dims))
+	return dst, p.LoadBlock(id, offs, dims, dst)
+}
+
+func TestCompactFreesShadowedBlocks(t *testing.T) {
+	single(t, nil, func(p *core.PMEM) error {
+		dims := []uint64{64}
+		if err := p.Alloc("A", serial.Float64, dims); err != nil {
+			return err
+		}
+		for round := 1; round <= 4; round++ {
+			if err := storeAll(p, "A", float64(round), []uint64{0}, dims); err != nil {
+				return err
+			}
+		}
+		before, err := readAll(p, "A", dims)
+		if err != nil {
+			return err
+		}
+		freed, err := p.Compact("A")
+		if err != nil {
+			return err
+		}
+		if freed != 3 {
+			t.Errorf("Compact freed %d, want 3", freed)
+		}
+		after, err := readAll(p, "A", dims)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(before, after) {
+			t.Error("Compact changed visible data")
+		}
+		// Idempotent.
+		freed, err = p.Compact("A")
+		if err != nil || freed != 0 {
+			t.Errorf("second Compact = %d, %v", freed, err)
+		}
+		return nil
+	})
+}
+
+func TestCompactKeepsPartialOverlaps(t *testing.T) {
+	single(t, nil, func(p *core.PMEM) error {
+		dims := []uint64{64}
+		if err := p.Alloc("B", serial.Float64, dims); err != nil {
+			return err
+		}
+		// Two half-blocks, then one overlapping middle block: the halves are
+		// NOT contained in the middle block, so nothing is freed.
+		if err := storeAll(p, "B", 1, []uint64{0}, []uint64{32}); err != nil {
+			return err
+		}
+		if err := storeAll(p, "B", 2, []uint64{32}, []uint64{32}); err != nil {
+			return err
+		}
+		if err := storeAll(p, "B", 3, []uint64{16}, []uint64{32}); err != nil {
+			return err
+		}
+		before, err := readAll(p, "B", dims)
+		if err != nil {
+			return err
+		}
+		freed, err := p.Compact("B")
+		if err != nil {
+			return err
+		}
+		if freed != 0 {
+			t.Errorf("Compact freed %d partially-overlapping blocks", freed)
+		}
+		after, err := readAll(p, "B", dims)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(before, after) {
+			t.Error("Compact changed visible data")
+		}
+		return nil
+	})
+}
+
+func TestCompactReclaimsPoolSpace(t *testing.T) {
+	single(t, nil, func(p *core.PMEM) error {
+		dims := []uint64{1 << 12}
+		if err := p.Alloc("C", serial.Float64, dims); err != nil {
+			return err
+		}
+		for round := 0; round < 6; round++ {
+			if err := storeAll(p, "C", float64(round), []uint64{0}, dims); err != nil {
+				return err
+			}
+		}
+		st0, err := p.Stats()
+		if err != nil {
+			return err
+		}
+		if _, err := p.Compact("C"); err != nil {
+			return err
+		}
+		st1, err := p.Stats()
+		if err != nil {
+			return err
+		}
+		if st1.Frees <= st0.Frees {
+			t.Errorf("Frees did not grow: %d -> %d", st0.Frees, st1.Frees)
+		}
+		// Freed space is reusable: more overwrites should not grow the heap.
+		heapBefore := st1.HeapUsed
+		for round := 0; round < 5; round++ {
+			if err := storeAll(p, "C", float64(round+10), []uint64{0}, dims); err != nil {
+				return err
+			}
+			if _, err := p.Compact("C"); err != nil {
+				return err
+			}
+		}
+		st2, err := p.Stats()
+		if err != nil {
+			return err
+		}
+		if st2.HeapUsed > heapBefore+(1<<16) {
+			t.Errorf("heap kept growing despite compaction: %d -> %d", heapBefore, st2.HeapUsed)
+		}
+		return nil
+	})
+}
+
+func TestCompactErrors(t *testing.T) {
+	single(t, nil, func(p *core.PMEM) error {
+		if _, err := p.Compact("missing"); err == nil {
+			t.Error("Compact(missing) succeeded")
+		}
+		return nil
+	})
+	single(t, &core.Options{Layout: core.LayoutHierarchy}, func(p *core.PMEM) error {
+		if _, err := p.Compact("x"); err == nil {
+			t.Error("Compact on hierarchy layout succeeded")
+		}
+		return nil
+	})
+}

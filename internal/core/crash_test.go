@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pmemcpy/internal/bytesview"
+	"pmemcpy/internal/core"
+	"pmemcpy/internal/mpi"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/serial"
+	"pmemcpy/internal/sim"
+)
+
+// TestCrashSweepStoreBlock injects a power failure after every possible
+// persist point while a committed array is being overwritten, then reopens
+// the store (running PMDK recovery) and checks the end-to-end guarantee:
+// the variable reads back as entirely old data or entirely new data — a
+// torn mix would mean the publish protocol (persist payload, then publish
+// the block transactionally) is broken somewhere in the stack.
+func TestCrashSweepStoreBlock(t *testing.T) {
+	const elems = 512
+	rng := rand.New(rand.NewSource(99))
+	makeVals := func(v float64) []float64 {
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = v
+		}
+		return vals
+	}
+
+	for k := int64(0); ; k++ {
+		n := node.New(sim.DefaultConfig(), 32<<20,
+			node.WithDeviceOptions(pmem.WithCrashTracking()))
+		n.Machine.SetConcurrency(1)
+
+		// Committed baseline: A = all 1s.
+		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+			p, err := core.Mmap(c, n, "/c.pool", nil)
+			if err != nil {
+				return err
+			}
+			if err := p.Alloc("A", serial.Float64, []uint64{elems}); err != nil {
+				return err
+			}
+			return p.StoreBlock("A", []uint64{0}, []uint64{elems},
+				bytesview.Bytes(makeVals(1)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Injected overwrite: A = all 2s, power failing after k persists.
+		var completed bool
+		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+			p, err := core.Mmap(c, n, "/c.pool", nil)
+			if err != nil {
+				return err
+			}
+			n.Device.FailAfterPersists(k)
+			serr := p.StoreBlock("A", []uint64{0}, []uint64{elems},
+				bytesview.Bytes(makeVals(2)))
+			completed = serr == nil
+			if serr != nil && !errors.Is(serr, pmem.ErrFailed) {
+				t.Errorf("k=%d: unexpected store error: %v", k, serr)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n.Device.Crash(pmem.CrashRandom, rng)
+
+		// Recover and check atomicity.
+		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+			p, err := core.Mmap(c, n, "/c.pool", nil)
+			if err != nil {
+				return err
+			}
+			dst := make([]byte, elems*8)
+			if err := p.LoadBlock("A", []uint64{0}, []uint64{elems}, dst); err != nil {
+				return err
+			}
+			vals := bytesview.OfCopy[float64](dst)
+			first := vals[0]
+			if first != 1 && first != 2 {
+				t.Errorf("k=%d: A[0] = %g, want 1 or 2", k, first)
+			}
+			for i, v := range vals {
+				if v != first {
+					t.Errorf("k=%d: torn overwrite: A[0]=%g but A[%d]=%g", k, first, i, v)
+					break
+				}
+			}
+			if completed && first != 2 {
+				t.Errorf("k=%d: committed overwrite lost (A = all %g)", k, first)
+			}
+			return p.Munmap()
+		})
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v", k, err)
+		}
+
+		if completed {
+			return // swept every crash point
+		}
+		if k > 3000 {
+			t.Fatal("crash sweep did not terminate")
+		}
+	}
+}
+
+// TestCrashDuringAlloc sweeps failures through the dims declaration: after
+// recovery the id either has valid dims or none.
+func TestCrashDuringAlloc(t *testing.T) {
+	for k := int64(0); ; k++ {
+		n := node.New(sim.DefaultConfig(), 32<<20,
+			node.WithDeviceOptions(pmem.WithCrashTracking()))
+		n.Machine.SetConcurrency(1)
+		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+			_, err := core.Mmap(c, n, "/a.pool", nil)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var completed bool
+		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+			p, err := core.Mmap(c, n, "/a.pool", nil)
+			if err != nil {
+				return err
+			}
+			n.Device.FailAfterPersists(k)
+			aerr := p.Alloc("V", serial.Float64, []uint64{4, 4})
+			completed = aerr == nil
+			if aerr != nil && !errors.Is(aerr, pmem.ErrFailed) {
+				t.Errorf("k=%d: unexpected alloc error: %v", k, aerr)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Device.Crash(pmem.CrashLoseAll, nil)
+
+		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+			p, err := core.Mmap(c, n, "/a.pool", nil)
+			if err != nil {
+				return err
+			}
+			dt, dims, derr := p.LoadDims("V")
+			if derr == nil {
+				if dt != serial.Float64 || len(dims) != 2 || dims[0] != 4 || dims[1] != 4 {
+					t.Errorf("k=%d: recovered dims corrupt: %v %v", k, dt, dims)
+				}
+			} else if completed {
+				t.Errorf("k=%d: committed Alloc lost: %v", k, derr)
+			}
+			return p.Munmap()
+		})
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v", k, err)
+		}
+		if completed {
+			return
+		}
+		if k > 1000 {
+			t.Fatal("alloc crash sweep did not terminate")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path"
+
+	"pmemcpy/internal/nd"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/serial"
+	"pmemcpy/internal/sim"
+)
+
+// hierStore implements the alternative hierarchical layout of Section 3:
+// "instead of writing to a single file, pMEMCPY stores the data structures
+// in a directory and creates a file for each variable. Whenever a '/' is
+// used in the id of the variable, a directory is created if it didn't
+// already exist."
+//
+// Variables map to files under the store's root directory; every stored
+// block is appended to its variable's file as a framed record. Data moves
+// through the filesystem's kernel path, which is what the layout ablation
+// (E5) compares against the mapped hashtable layout.
+type hierStore struct {
+	node *node.Node
+	root string
+}
+
+// filePath maps an id to its file path, creating parent directories.
+func (h *hierStore) filePath(clk *sim.Clock, id string, mkdirs bool) (string, error) {
+	if id == "" {
+		return "", fmt.Errorf("core: empty id")
+	}
+	full := path.Join(h.root, id)
+	if mkdirs {
+		if dir := path.Dir(full); dir != "." {
+			if err := h.node.FS.MkdirAll(clk, dir); err != nil {
+				return "", err
+			}
+		}
+	}
+	return full, nil
+}
+
+// putValue writes a whole small metadata file.
+func (h *hierStore) putValue(clk *sim.Clock, id string, value []byte) error {
+	p, err := h.filePath(clk, id, true)
+	if err != nil {
+		return err
+	}
+	f, err := h.node.FS.Create(clk, p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(clk, value, 0); err != nil {
+		return err
+	}
+	return f.Sync(clk)
+}
+
+// getValue reads a whole small metadata file.
+func (h *hierStore) getValue(clk *sim.Clock, id string) ([]byte, bool, error) {
+	p, err := h.filePath(clk, id, false)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := h.node.FS.Open(clk, p)
+	if err != nil {
+		return nil, false, nil // absent
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(clk, buf, 0); err != nil {
+		return nil, false, err
+	}
+	return buf, true, nil
+}
+
+func (h *hierStore) delete(clk *sim.Clock, id string) (bool, error) {
+	p, err := h.filePath(clk, id, false)
+	if err != nil {
+		return false, err
+	}
+	if _, err := h.node.FS.Stat(clk, p); err != nil {
+		return false, nil
+	}
+	return true, h.node.FS.Remove(clk, p)
+}
+
+func (h *hierStore) keys(clk *sim.Clock) ([]string, error) {
+	var out []string
+	var walk func(dir, rel string) error
+	walk = func(dir, rel string) error {
+		ents, err := h.node.FS.ReadDir(clk, dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			childRel := e.Name
+			if rel != "" {
+				childRel = rel + "/" + e.Name
+			}
+			if e.IsDir {
+				if err := walk(path.Join(dir, e.Name), childRel); err != nil {
+					return err
+				}
+				continue
+			}
+			out = append(out, childRel)
+		}
+		return nil
+	}
+	if err := walk(h.root, ""); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chargeStagedEncode accounts serializing into a DRAM buffer (the
+// hierarchical layout writes through the kernel path, so it cannot encode
+// straight into the device).
+func (h *hierStore) chargeStagedEncode(p *PMEM, n int64, passes float64) {
+	m := h.node.Machine
+	p.comm.Clock().Advance(sim.MoveCost(int64(float64(n)*passes),
+		m.Config().SerializeBPS, m.Oversub(p.comm.Size()), m.DRAM))
+}
+
+func (h *hierStore) chargeStagedDecode(p *PMEM, n int64, passes float64) {
+	m := h.node.Machine
+	p.comm.Clock().Advance(sim.MoveCost(int64(float64(n)*passes),
+		m.Config().DeserializeBPS, m.Oversub(p.comm.Size()), m.DRAM))
+}
+
+// storeDatum writes one whole value as a single-record file.
+func (h *hierStore) storeDatum(p *PMEM, id string, d *serial.Datum) error {
+	clk := p.comm.Clock()
+	enc := make([]byte, 1+p.codec.EncodedSize(d))
+	enc[0] = byte(d.Type)
+	wrote, err := p.codec.EncodeTo(enc[1:], d)
+	if err != nil {
+		return err
+	}
+	encPasses, _ := p.codec.CostProfile()
+	h.chargeStagedEncode(p, int64(wrote)+1, encPasses)
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	return h.putValue(clk, id, enc[:1+wrote])
+}
+
+func (h *hierStore) loadDatum(p *PMEM, id string) (*serial.Datum, error) {
+	clk := p.comm.Clock()
+	raw, ok, err := h.getValue(clk, id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: id %q not found", id)
+	}
+	if len(raw) < 1 {
+		return nil, fmt.Errorf("core: empty value file for %q", id)
+	}
+	d, err := p.codec.Decode(raw[1:], &serial.Datum{Type: serial.DType(raw[0])})
+	if err != nil {
+		return nil, err
+	}
+	_, decPasses := p.codec.CostProfile()
+	h.chargeStagedDecode(p, int64(len(raw)), decPasses)
+	return d.Clone(), nil
+}
+
+// Block record framing in a variable file:
+//
+//	u8 dtype | u8 ndims | offs u64[nd] | counts u64[nd] | u64 encLen | payload
+func blockRecordHeaderSize(ndims int) int64 { return 2 + 16*int64(ndims) + 8 }
+
+// storeBlock appends one block record to the variable's file.
+func (h *hierStore) storeBlock(p *PMEM, id string, offs []uint64, d *serial.Datum) error {
+	clk := p.comm.Clock()
+	encPasses, _ := p.codec.CostProfile()
+	hdrLen := blockRecordHeaderSize(len(d.Dims))
+	enc := make([]byte, hdrLen+int64(p.codec.EncodedSize(d)))
+	enc[0] = byte(d.Type)
+	enc[1] = byte(len(d.Dims))
+	pos := 2
+	for _, o := range offs {
+		binary.LittleEndian.PutUint64(enc[pos:], o)
+		pos += 8
+	}
+	for _, c := range d.Dims {
+		binary.LittleEndian.PutUint64(enc[pos:], c)
+		pos += 8
+	}
+	wrote, err := p.codec.EncodeTo(enc[pos+8:], d)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(enc[pos:], uint64(wrote))
+	total := hdrLen + int64(wrote)
+	h.chargeStagedEncode(p, total, encPasses)
+
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	fp, err := h.filePath(clk, id, true)
+	if err != nil {
+		return err
+	}
+	f, err := h.node.FS.Open(clk, fp)
+	if err != nil {
+		if f, err = h.node.FS.Create(clk, fp); err != nil {
+			return err
+		}
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(clk, enc[:total], f.Size()); err != nil {
+		return err
+	}
+	return f.Sync(clk)
+}
+
+// loadBlock scans the variable's file and gathers every intersecting record.
+func (h *hierStore) loadBlock(p *PMEM, id string, rec dimsRecord, offs, counts []uint64, dst []byte) error {
+	clk := p.comm.Clock()
+	fp, err := h.filePath(clk, id, false)
+	if err != nil {
+		return err
+	}
+	f, err := h.node.FS.Open(clk, fp)
+	if err != nil {
+		return fmt.Errorf("core: id %q has no stored blocks", id)
+	}
+	defer f.Close()
+	esize := rec.dtype.Size()
+	need := int64(nd.Size(counts)) * int64(esize)
+	_, decPasses := p.codec.CostProfile()
+	covered := int64(0)
+
+	size := f.Size()
+	pos := int64(0)
+	for pos < size {
+		var hdr [2]byte
+		if _, err := f.ReadAt(clk, hdr[:], pos); err != nil {
+			return err
+		}
+		ndims := int(hdr[1])
+		hdrLen := blockRecordHeaderSize(ndims)
+		rest := make([]byte, hdrLen-2)
+		if _, err := f.ReadAt(clk, rest, pos+2); err != nil {
+			return err
+		}
+		bOffs := make([]uint64, ndims)
+		bCnts := make([]uint64, ndims)
+		rp := 0
+		for i := range bOffs {
+			bOffs[i] = binary.LittleEndian.Uint64(rest[rp:])
+			rp += 8
+		}
+		for i := range bCnts {
+			bCnts[i] = binary.LittleEndian.Uint64(rest[rp:])
+			rp += 8
+		}
+		encLen := int64(binary.LittleEndian.Uint64(rest[rp:]))
+		payloadOff := pos + hdrLen
+		pos = payloadOff + encLen
+
+		isOffs, isCnts, okIs := nd.Intersect(offs, counts, bOffs, bCnts)
+		if !okIs {
+			continue
+		}
+		enc := make([]byte, encLen)
+		if _, err := f.ReadAt(clk, enc, payloadOff); err != nil {
+			return err
+		}
+		d, err := p.codec.Decode(enc, &serial.Datum{Type: serial.DType(hdr[0]), Dims: bCnts})
+		if err != nil {
+			return err
+		}
+		h.chargeStagedDecode(p, encLen, decPasses)
+		if err := nd.PlaceIntersection(dst, offs, counts, d.Payload, bOffs, bCnts,
+			isOffs, isCnts, esize); err != nil {
+			return err
+		}
+		covered += int64(nd.Size(isCnts)) * int64(esize)
+	}
+	if covered < need {
+		return fmt.Errorf("core: request on %q only covered %d of %d bytes", id, covered, need)
+	}
+	return nil
+}

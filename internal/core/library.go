@@ -1,0 +1,107 @@
+package core
+
+import (
+	"pmemcpy/internal/mpi"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/pio"
+)
+
+// Library adapts pMEMCPY to the common pio.Library interface so the
+// experiment harness can drive it next to the baselines. The paper's two
+// evaluated configurations are:
+//
+//	Library{}              -> "PMCPY-A" (MAP_SYNC disabled)
+//	Library{MapSync: true} -> "PMCPY-B" (MAP_SYNC enabled)
+type Library struct {
+	// MapSync selects the PMCPY-B configuration.
+	MapSync bool
+	// Codec overrides the serializer (default bp4, as in the evaluation).
+	Codec string
+	// Layout selects the data layout (default hashtable, as evaluated).
+	Layout Layout
+	// PoolSize overrides the pool file size (0 = 3/4 of the device).
+	PoolSize int64
+	// Staged enables the staging ablation (serialize to DRAM, then copy).
+	Staged bool
+}
+
+// Name implements pio.Library.
+func (l Library) Name() string {
+	if l.MapSync {
+		return "PMCPY-B"
+	}
+	return "PMCPY-A"
+}
+
+func (l Library) options() *Options {
+	return &Options{
+		Codec:               l.Codec,
+		Layout:              l.Layout,
+		MapSync:             l.MapSync,
+		PoolSize:            l.PoolSize,
+		StagedSerialization: l.Staged,
+	}
+}
+
+// OpenWrite implements pio.Library.
+func (l Library) OpenWrite(c *mpi.Comm, n *node.Node, path string) (pio.Writer, error) {
+	p, err := Mmap(c, n, path, l.options())
+	if err != nil {
+		return nil, err
+	}
+	return &session{p: p}, nil
+}
+
+// OpenRead implements pio.Library.
+func (l Library) OpenRead(c *mpi.Comm, n *node.Node, path string) (pio.Reader, error) {
+	p, err := Mmap(c, n, path, l.options())
+	if err != nil {
+		return nil, err
+	}
+	return &session{p: p}, nil
+}
+
+// session implements both pio.Writer and pio.Reader over one PMEM handle —
+// pMEMCPY has no separate define/write/read modes, which is exactly the API
+// simplification the paper argues for.
+type session struct {
+	p *PMEM
+}
+
+// DefineVar implements pio.Writer via Alloc (dims land under name+"#dims").
+func (s *session) DefineVar(v pio.Var) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	return s.p.Alloc(v.Name, v.Type, v.GlobalDims)
+}
+
+// Write implements pio.Writer.
+func (s *session) Write(name string, offs, counts []uint64, data []byte) error {
+	return s.p.StoreBlock(name, offs, counts, data)
+}
+
+// Dims implements pio.Reader.
+func (s *session) Dims(name string) ([]uint64, error) {
+	_, dims, err := s.p.LoadDims(name)
+	return dims, err
+}
+
+// Read implements pio.Reader.
+func (s *session) Read(name string, offs, counts []uint64, dst []byte) error {
+	return s.p.LoadBlock(name, offs, counts, dst)
+}
+
+// Close implements pio.Writer and pio.Reader.
+func (s *session) Close() error {
+	return s.p.Munmap()
+}
+
+var (
+	_ pio.Writer  = (*session)(nil)
+	_ pio.Reader  = (*session)(nil)
+	_ pio.Library = Library{}
+)
+
+// Handle returns the underlying PMEM for callers that need the full API.
+func (s *session) Handle() *PMEM { return s.p }

@@ -1,0 +1,38 @@
+package core
+
+// StoreStats is an observability snapshot of a store, surfaced by pmemcli.
+type StoreStats struct {
+	// Layout is the store's data layout.
+	Layout Layout
+	// Keys is the number of metadata entries (including "#dims" companions).
+	Keys int
+	// HeapUsed is the number of bump-allocated pool bytes (hashtable layout
+	// only; freed blocks are reusable but still counted).
+	HeapUsed int64
+	// Allocator/transaction counters (hashtable layout only).
+	Allocs, Frees, Transactions, Aborts, Recovered int64
+}
+
+// Stats returns a snapshot of the store's metadata and allocator state.
+func (p *PMEM) Stats() (StoreStats, error) {
+	keys, err := p.Keys()
+	if err != nil {
+		return StoreStats{}, err
+	}
+	st := StoreStats{Layout: p.st.layout, Keys: len(keys)}
+	if p.st.layout != LayoutHashtable {
+		return st, nil
+	}
+	used, err := p.st.pool.HeapUsed(p.comm.Clock())
+	if err != nil {
+		return StoreStats{}, err
+	}
+	ps := p.st.pool.Stats()
+	st.HeapUsed = used
+	st.Allocs = ps.Allocs
+	st.Frees = ps.Frees
+	st.Transactions = ps.Transactions
+	st.Aborts = ps.Aborts
+	st.Recovered = ps.Recovered
+	return st, nil
+}

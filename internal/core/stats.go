@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pmemcpy/internal/bytesview"
+	"pmemcpy/internal/serial"
+)
+
+// Statistics queries over stored arrays. This is what BP4's "lightweight
+// data characterization" is for: every stored block carries min/max
+// characteristics, so aggregate statistics and value-range searches read a
+// few header bytes per block instead of the data — the ADIOS-style query
+// acceleration the default serializer inherits.
+
+// statsReader is implemented by codecs whose encoded blocks carry min/max
+// characteristics (BP4).
+type statsReader interface {
+	Stats(src []byte) (mn, mx float64, ok bool, err error)
+}
+
+// BlockStats describes one stored block of a variable.
+type BlockStats struct {
+	Offs   []uint64
+	Counts []uint64
+	// Min and Max are the block's value range (valid when HasStats).
+	Min, Max float64
+	// HasStats reports whether the range came from stored characteristics
+	// (true) or a full data scan fallback (also true) — it is false only
+	// for empty blocks.
+	HasStats bool
+	// Skipped reports that the range was read from block characteristics
+	// without touching the payload.
+	Skipped bool
+}
+
+// MinMax returns the value range of array id across all stored blocks. With
+// the BP4 codec only block headers are read; other codecs fall back to
+// scanning the data.
+func (p *PMEM) MinMax(id string) (mn, mx float64, err error) {
+	blocks, err := p.BlockStatsOf(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(blocks) == 0 {
+		return 0, 0, fmt.Errorf("core: %q has no stored blocks", id)
+	}
+	mn, mx = math.Inf(1), math.Inf(-1)
+	for _, b := range blocks {
+		if b.Min < mn {
+			mn = b.Min
+		}
+		if b.Max > mx {
+			mx = b.Max
+		}
+	}
+	return mn, mx, nil
+}
+
+// FindBlocks returns the blocks of id whose value range intersects
+// [lo, hi] — the block-skipping primitive of range queries: blocks whose
+// characteristics exclude the range are skipped without reading their data.
+func (p *PMEM) FindBlocks(id string, lo, hi float64) ([]BlockStats, error) {
+	blocks, err := p.BlockStatsOf(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []BlockStats
+	for _, b := range blocks {
+		if b.Max >= lo && b.Min <= hi {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// BlockStatsOf returns per-block statistics for id. Blocks encoded with a
+// statistics-carrying codec are summarized from their headers (Skipped);
+// others are scanned.
+func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
+	if p.st.layout == LayoutHierarchy {
+		return nil, fmt.Errorf("core: block statistics require the hashtable layout")
+	}
+	rec, err := p.loadDimsLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	blocks, ok, err := p.loadBlockList(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: %q has no stored blocks", id)
+	}
+	clk := p.comm.Clock()
+	cfg := p.node.Machine.Config()
+	sr, hasSR := p.codec.(statsReader)
+	out := make([]BlockStats, 0, len(blocks))
+	for _, b := range blocks {
+		bs := BlockStats{
+			Offs:   append([]uint64(nil), b.offs...),
+			Counts: append([]uint64(nil), b.counts...),
+		}
+		src, err := p.st.pool.Slice(b.data, b.encLen)
+		if err != nil {
+			return nil, err
+		}
+		if hasSR {
+			mn, mx, okStats, err := sr.Stats(src)
+			if err == nil && okStats {
+				// Characteristics live in the block header: a handful of
+				// bytes, one device latency.
+				clk.Advance(cfg.PMEMReadLatency)
+				bs.Min, bs.Max, bs.HasStats, bs.Skipped = mn, mx, true, true
+				out = append(out, bs)
+				continue
+			}
+		}
+		// Fallback: decode and scan the payload (a full read pass).
+		d, err := p.codec.Decode(src, &serial.Datum{Type: b.dtype, Dims: b.counts})
+		if err != nil {
+			return nil, err
+		}
+		p.chargeDirectRead(int64(len(d.Payload)), 1)
+		mn, mx, okScan := scanMinMax(rec.dtype, d.Payload)
+		bs.Min, bs.Max, bs.HasStats = mn, mx, okScan
+		out = append(out, bs)
+	}
+	return out, nil
+}
+
+// scanMinMax computes the range of a payload by element type.
+func scanMinMax(dt serial.DType, payload []byte) (float64, float64, bool) {
+	if len(payload) == 0 {
+		return 0, 0, false
+	}
+	switch dt {
+	case serial.Float64:
+		return rangeOf(bytesview.OfCopy[float64](payload))
+	case serial.Float32:
+		return rangeOf(bytesview.OfCopy[float32](payload))
+	case serial.Int64:
+		return rangeOf(bytesview.OfCopy[int64](payload))
+	case serial.Int32:
+		return rangeOf(bytesview.OfCopy[int32](payload))
+	case serial.Int16:
+		return rangeOf(bytesview.OfCopy[int16](payload))
+	case serial.Int8:
+		return rangeOf(bytesview.OfCopy[int8](payload))
+	case serial.Uint64:
+		return rangeOf(bytesview.OfCopy[uint64](payload))
+	case serial.Uint32:
+		return rangeOf(bytesview.OfCopy[uint32](payload))
+	case serial.Uint16:
+		return rangeOf(bytesview.OfCopy[uint16](payload))
+	case serial.Uint8:
+		return rangeOf(bytesview.OfCopy[uint8](payload))
+	}
+	return 0, 0, false
+}
+
+func rangeOf[T bytesview.Element](vals []T) (float64, float64, bool) {
+	if len(vals) == 0 {
+		return 0, 0, false
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return float64(mn), float64(mx), true
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmemcpy/internal/nd"
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/serial"
+)
+
+// putValue stores small metadata bytes under id in the active layout.
+func (p *PMEM) putValue(id string, value []byte) error {
+	clk := p.comm.Clock()
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.putValue(clk, id, value)
+	}
+	return p.st.ht.Put(clk, []byte(id), value)
+}
+
+// getValue loads small metadata bytes stored under id.
+func (p *PMEM) getValue(id string) ([]byte, bool, error) {
+	clk := p.comm.Clock()
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.getValue(clk, id)
+	}
+	return p.st.ht.Get(clk, []byte(id))
+}
+
+// Delete removes id (and not its "#dims" companion; delete that separately
+// if desired). It reports whether the id existed.
+func (p *PMEM) Delete(id string) (bool, error) {
+	clk := p.comm.Clock()
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.delete(clk, id)
+	}
+	// Free whatever data the entry owns — a block list's blocks, a value
+	// ref's block, or nothing for raw metadata records (e.g. "#dims") —
+	// then remove the metadata entry itself.
+	raw, ok, err := p.getValue(id)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	var owned []pmdk.PMID
+	switch {
+	case len(raw) > 0 && raw[0] == blockListTag:
+		blocks, err := decodeBlockList(raw)
+		if err != nil {
+			return false, err
+		}
+		for _, b := range blocks {
+			owned = append(owned, b.data)
+		}
+	case len(raw) == 17 && raw[0] == valueRefTag:
+		blk, _, err := decodeValueRef(raw)
+		if err != nil {
+			return false, err
+		}
+		owned = append(owned, blk)
+	}
+	if len(owned) > 0 {
+		tx, err := p.st.pool.Begin(clk)
+		if err != nil {
+			return false, err
+		}
+		for _, blk := range owned {
+			if err := p.st.pool.Free(tx, blk); err != nil {
+				tx.Abort()
+				return false, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return false, err
+		}
+	}
+	return p.st.ht.Delete(clk, []byte(id))
+}
+
+// Keys lists every stored id (including "#dims" companions), mainly for
+// tooling (pmemcli).
+func (p *PMEM) Keys() ([]string, error) {
+	clk := p.comm.Clock()
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.keys(clk)
+	}
+	var out []string
+	err := p.st.ht.Range(clk, func(key []byte, _ pmdk.PMID, _ int64) bool {
+		out = append(out, string(key))
+		return true
+	})
+	return out, err
+}
+
+// --- scalar / whole-value store ---
+
+// StoreDatum stores a complete datum (scalar, string, or whole array) under
+// id. The value is serialized with the handle's codec directly into PMEM.
+func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	encPasses, _ := p.codec.CostProfile()
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.storeDatum(p, id, d)
+	}
+	// Serialize directly into a PMEM block, then publish it as the KV value
+	// via a small pointer record. A 1-byte type prefix lets non-self-
+	// describing codecs decode.
+	clk := p.comm.Clock()
+	need := int64(p.codec.EncodedSize(d)) + 1
+	tx, err := p.st.pool.Begin(clk)
+	if err != nil {
+		return err
+	}
+	blk, err := p.st.pool.Alloc(tx, need)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	dst, err := p.st.pool.Slice(blk, need)
+	if err != nil {
+		return err
+	}
+	if err := p.st.pool.Mapping().Capture(int64(blk), need); err != nil {
+		return err
+	}
+	dst[0] = byte(d.Type)
+	wrote, err := p.codec.EncodeTo(dst[1:], d)
+	if err != nil {
+		return err
+	}
+	p.chargeStoreBytes(int64(wrote)+1, encPasses)
+	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need); err != nil {
+		return err
+	}
+	// Publish: the KV value is a (pmid, len) pointer record.
+	rec := encodeValueRef(blk, int64(wrote)+1)
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	return p.putValue(id, rec)
+}
+
+// LoadDatum loads a datum stored with StoreDatum, deserializing directly
+// from PMEM. The returned payload is a private copy.
+func (p *PMEM) LoadDatum(id string) (*serial.Datum, error) {
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.loadDatum(p, id)
+	}
+	clk := p.comm.Clock()
+	raw, ok, err := p.getValue(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: id %q not found", id)
+	}
+	blk, n, err := decodeValueRef(raw)
+	if err != nil {
+		return nil, err
+	}
+	src, err := p.st.pool.Slice(blk, n)
+	if err != nil {
+		return nil, err
+	}
+	hint := &serial.Datum{Type: serial.DType(src[0])}
+	d, err := p.codec.Decode(src[1:], hint)
+	if err != nil {
+		return nil, err
+	}
+	_, decPasses := p.codec.CostProfile()
+	p.chargeDirectRead(n, decPasses)
+	out := d.Clone() // the caller's datum must not alias the pool
+	_ = clk
+	return out, nil
+}
+
+// valueRefTag distinguishes single-value pointer records from block lists;
+// blockListTag marks the block lists themselves. Raw metadata records (dims)
+// carry neither.
+const (
+	valueRefTag  = 0xA7
+	blockListTag = 0xB1
+)
+
+func encodeValueRef(blk pmdk.PMID, n int64) []byte {
+	rec := make([]byte, 17)
+	rec[0] = valueRefTag
+	binary.LittleEndian.PutUint64(rec[1:], uint64(blk))
+	binary.LittleEndian.PutUint64(rec[9:], uint64(n))
+	return rec
+}
+
+func decodeValueRef(raw []byte) (pmdk.PMID, int64, error) {
+	if len(raw) != 17 || raw[0] != valueRefTag {
+		return 0, 0, fmt.Errorf("core: not a value ref (%d bytes)", len(raw))
+	}
+	return pmdk.PMID(binary.LittleEndian.Uint64(raw[1:])),
+		int64(binary.LittleEndian.Uint64(raw[9:])), nil
+}
+
+// --- block (subarray) store/load: the parallel write path of Figure 3 ---
+
+// blockRec describes one stored block of a variable.
+type blockRec struct {
+	dtype  serial.DType
+	offs   []uint64
+	counts []uint64
+	data   pmdk.PMID
+	encLen int64
+}
+
+// StoreBlock stores this rank's block of array id at the given offsets
+// (Figure 2's pmem.store<T>(id, data, ndims, offsets, dimspp)). The global
+// dimensions must have been declared with Alloc. data holds the block's
+// row-major bytes.
+func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
+	rec, err := p.loadDimsLocked(id)
+	if err != nil {
+		return err
+	}
+	if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
+		return err
+	}
+	esize := rec.dtype.Size()
+	need := int64(nd.Size(counts)) * int64(esize)
+	if int64(len(data)) < need {
+		return fmt.Errorf("core: data %d bytes, block needs %d", len(data), need)
+	}
+	d := &serial.Datum{Type: rec.dtype, Dims: counts, Payload: data[:need]}
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.storeBlock(p, id, offs, d)
+	}
+
+	clk := p.comm.Clock()
+	encPasses, _ := p.codec.CostProfile()
+	encSize := int64(p.codec.EncodedSize(d))
+
+	// 1. Allocate the data block (transactional metadata update).
+	tx, err := p.st.pool.Begin(clk)
+	if err != nil {
+		return err
+	}
+	blk, err := p.st.pool.Alloc(tx, encSize)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// 2. Serialize DIRECTLY into the mapped PMEM block — the single pass
+	// that defines pMEMCPY — and persist it.
+	dst, err := p.st.pool.Slice(blk, encSize)
+	if err != nil {
+		return err
+	}
+	if err := p.st.pool.Mapping().Capture(int64(blk), encSize); err != nil {
+		return err
+	}
+	wrote, err := p.codec.EncodeTo(dst, d)
+	if err != nil {
+		return err
+	}
+	p.chargeStoreBytes(int64(wrote), encPasses)
+	if err := p.st.pool.Mapping().Persist(clk, int64(blk), int64(wrote)); err != nil {
+		return err
+	}
+
+	// 3. Publish the block in the variable's block list.
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	blocks, _, err := p.loadBlockList(id)
+	if err != nil {
+		return err
+	}
+	blocks = append(blocks, blockRec{
+		dtype:  rec.dtype,
+		offs:   append([]uint64(nil), offs...),
+		counts: append([]uint64(nil), counts...),
+		data:   blk,
+		encLen: int64(wrote),
+	})
+	return p.putValue(id, encodeBlockList(blocks))
+}
+
+// LoadBlock fills dst with the block (offs, counts) of array id, gathering
+// from every stored block that intersects the request and deserializing
+// directly from PMEM.
+func (p *PMEM) LoadBlock(id string, offs, counts []uint64, dst []byte) error {
+	rec, err := p.loadDimsLocked(id)
+	if err != nil {
+		return err
+	}
+	if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
+		return err
+	}
+	esize := rec.dtype.Size()
+	need := int64(nd.Size(counts)) * int64(esize)
+	if int64(len(dst)) < need {
+		return fmt.Errorf("core: dst %d bytes, block needs %d", len(dst), need)
+	}
+	if p.st.layout == LayoutHierarchy {
+		return p.st.hier.loadBlock(p, id, rec, offs, counts, dst)
+	}
+
+	blocks, ok, err := p.loadBlockList(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: id %q has no stored blocks", id)
+	}
+	_, decPasses := p.codec.CostProfile()
+	covered := int64(0)
+	for _, b := range blocks {
+		isOffs, isCnts, okIs := nd.Intersect(offs, counts, b.offs, b.counts)
+		if !okIs {
+			continue
+		}
+		src, err := p.st.pool.Slice(b.data, b.encLen)
+		if err != nil {
+			return err
+		}
+		d, err := p.codec.Decode(src, &serial.Datum{Type: b.dtype, Dims: b.counts})
+		if err != nil {
+			return err
+		}
+		// Zero-copy decode: d.Payload aliases the mapped PMEM. One pass
+		// moves exactly the intersection into dst.
+		isBytes := int64(nd.Size(isCnts)) * int64(esize)
+		p.chargeDirectRead(isBytes, decPasses)
+		if err := nd.PlaceIntersection(dst, offs, counts, d.Payload, b.offs, b.counts,
+			isOffs, isCnts, esize); err != nil {
+			return err
+		}
+		covered += isBytes
+	}
+	if covered < need {
+		return fmt.Errorf("core: request on %q only covered %d of %d bytes", id, covered, need)
+	}
+	return nil
+}
+
+// loadBlockList reads and decodes the block list stored under id.
+func (p *PMEM) loadBlockList(id string) ([]blockRec, bool, error) {
+	raw, ok, err := p.getValue(id)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	blocks, err := decodeBlockList(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return blocks, true, nil
+}
+
+func encodeBlockList(blocks []blockRec) []byte {
+	var buf []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(blocks)))
+	buf = append(buf, blockListTag)
+	buf = append(buf, tmp[:4]...)
+	for _, b := range blocks {
+		buf = append(buf, byte(b.dtype), byte(len(b.offs)))
+		for _, o := range b.offs {
+			binary.LittleEndian.PutUint64(tmp[:], o)
+			buf = append(buf, tmp[:]...)
+		}
+		for _, c := range b.counts {
+			binary.LittleEndian.PutUint64(tmp[:], c)
+			buf = append(buf, tmp[:]...)
+		}
+		binary.LittleEndian.PutUint64(tmp[:], uint64(b.data))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(b.encLen))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func decodeBlockList(raw []byte) ([]blockRec, error) {
+	if len(raw) < 5 || raw[0] != blockListTag {
+		return nil, fmt.Errorf("core: not a block list")
+	}
+	n := binary.LittleEndian.Uint32(raw[1:])
+	pos := 5
+	out := make([]blockRec, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if pos+2 > len(raw) {
+			return nil, fmt.Errorf("core: block list truncated")
+		}
+		b := blockRec{dtype: serial.DType(raw[pos])}
+		ndims := int(raw[pos+1])
+		pos += 2
+		if pos+16*ndims+16 > len(raw) {
+			return nil, fmt.Errorf("core: block list truncated")
+		}
+		b.offs = make([]uint64, ndims)
+		b.counts = make([]uint64, ndims)
+		for j := range b.offs {
+			b.offs[j] = binary.LittleEndian.Uint64(raw[pos:])
+			pos += 8
+		}
+		for j := range b.counts {
+			b.counts[j] = binary.LittleEndian.Uint64(raw[pos:])
+			pos += 8
+		}
+		b.data = pmdk.PMID(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		b.encLen = int64(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package filter
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmemcpy/internal/bytesview"
+)
+
+func roundTrip(t *testing.T, spec string, src []byte) []byte {
+	t.Helper()
+	f, err := Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := f.Encode(nil, src)
+	if err != nil {
+		t.Fatalf("%s: Encode: %v", spec, err)
+	}
+	dec, err := f.Decode(enc, len(src))
+	if err != nil {
+		t.Fatalf("%s: Decode: %v", spec, err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("%s: round trip mismatch (%d -> %d -> %d bytes)", spec, len(src), len(enc), len(dec))
+	}
+	return enc
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 2 || names[0] != "rle" || names[1] != "shuffle" {
+		t.Fatalf("Names = %v", names)
+	}
+	if f, err := Get(""); err != nil || f != nil {
+		t.Fatalf("Get(empty) = %v, %v", f, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+	if _, err := Get("shuffle+nope"); err == nil {
+		t.Fatal("unknown chain member accepted")
+	}
+	f, err := Get("shuffle+rle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "shuffle+rle" || f.Passes() != 2.0 {
+		t.Fatalf("chain = %s passes %g", f.Name(), f.Passes())
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	src := bytes.Repeat([]byte{0x42}, 10000)
+	enc := roundTrip(t, "rle", src)
+	if len(enc) >= len(src)/10 {
+		t.Fatalf("rle on a constant run: %d -> %d bytes", len(src), len(enc))
+	}
+}
+
+func TestRLEHandlesMarkers(t *testing.T) {
+	src := bytes.Repeat([]byte{rleMarker}, 9)
+	roundTrip(t, "rle", src)
+	src = []byte{rleMarker, 1, rleMarker, 2, rleMarker}
+	roundTrip(t, "rle", src)
+}
+
+func TestRLEEmptyAndTiny(t *testing.T) {
+	roundTrip(t, "rle", nil)
+	roundTrip(t, "rle", []byte{7})
+	roundTrip(t, "rle", []byte{7, 7, 7}) // below min run
+}
+
+func TestShuffleRoundTripOddLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1000} {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 31)
+		}
+		roundTrip(t, "shuffle", src)
+	}
+}
+
+func TestShuffleImprovesRLEOnDoubles(t *testing.T) {
+	// Slowly varying doubles: high bytes are constant; shuffle groups them
+	// into runs that RLE then collapses.
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 1000.0 + float64(i)*0.001
+	}
+	src := bytesview.Bytes(vals)
+	plain := roundTrip(t, "rle", src)
+	shuffled := roundTrip(t, "shuffle+rle", src)
+	if len(shuffled) >= len(plain) {
+		t.Fatalf("shuffle did not help: rle=%d shuffle+rle=%d", len(plain), len(shuffled))
+	}
+	// The exponent/high-mantissa bytes collapse; low-mantissa bytes stay
+	// near-random, so ~2/3 is the expected ratio for this pattern.
+	if len(shuffled) >= len(src)*7/10 {
+		t.Fatalf("shuffle+rle on smooth doubles: %d -> %d", len(src), len(shuffled))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	f, err := Get("rle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Decode([]byte{rleMarker}, -1); err == nil {
+		t.Error("truncated marker accepted")
+	}
+	if _, err := f.Decode([]byte{rleMarker, 5}, -1); err == nil {
+		t.Error("truncated run accepted")
+	}
+	enc, err := f.Encode(nil, []byte("abcabcabc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Decode(enc, 5); err == nil {
+		t.Error("wrong rawLen accepted")
+	}
+	sh, err := Get("shuffle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Decode([]byte{1, 2}, -1); err == nil {
+		t.Error("truncated shuffle header accepted")
+	}
+	if _, err := sh.Decode([]byte{9, 0, 0, 0}, -1); err == nil {
+		t.Error("oversized tail accepted")
+	}
+}
+
+// Property: every filter and the chain round-trip arbitrary bytes.
+func TestQuickFiltersRoundTrip(t *testing.T) {
+	specs := []string{"rle", "shuffle", "shuffle+rle", "rle+shuffle"}
+	f := func(src []byte) bool {
+		for _, spec := range specs {
+			fl, err := Get(spec)
+			if err != nil {
+				return false
+			}
+			enc, err := fl.Encode(nil, src)
+			if err != nil {
+				return false
+			}
+			dec, err := fl.Decode(enc, len(src))
+			if err != nil || !bytes.Equal(dec, src) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRLERandomIncompressibleStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		src := make([]byte, 1+rng.Intn(5000))
+		rng.Read(src)
+		roundTrip(t, "rle", src)
+	}
+}

@@ -1,0 +1,75 @@
+package nd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRuns measures hyperslab run iteration — the inner loop of every
+// NetCDF-style linearization.
+func BenchmarkRuns(b *testing.B) {
+	cases := []struct {
+		name   string
+		dims   []uint64
+		offs   []uint64
+		counts []uint64
+	}{
+		{"contiguous-1D", []uint64{1 << 20}, []uint64{0}, []uint64{1 << 20}},
+		{"interior-3D-64", []uint64{128, 128, 128}, []uint64{32, 32, 32}, []uint64{64, 64, 64}},
+		{"full-inner-3D", []uint64{64, 256, 256}, []uint64{16, 0, 0}, []uint64{32, 256, 256}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(Size(tc.counts)) * 8)
+			for i := 0; i < b.N; i++ {
+				var runs int
+				err := Runs(tc.dims, tc.offs, tc.counts, 8, func(g, o, n int64) error {
+					runs++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCopyInOut measures the block scatter/gather copies.
+func BenchmarkCopyInOut(b *testing.B) {
+	for _, edge := range []uint64{16, 64} {
+		dims := []uint64{2 * edge, 2 * edge, 2 * edge}
+		offs := []uint64{edge / 2, edge / 2, edge / 2}
+		counts := []uint64{edge, edge, edge}
+		global := make([]byte, Size(dims)*8)
+		local := make([]byte, Size(counts)*8)
+		b.Run(fmt.Sprintf("in-%d3", edge), func(b *testing.B) {
+			b.SetBytes(int64(len(local)))
+			for i := 0; i < b.N; i++ {
+				if err := CopyIn(global, dims, offs, counts, local, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("out-%d3", edge), func(b *testing.B) {
+			b.SetBytes(int64(len(local)))
+			for i := 0; i < b.N; i++ {
+				if err := CopyOut(global, dims, offs, counts, local, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntersect measures block intersection (called per stored block on
+// every pMEMCPY load).
+func BenchmarkIntersect(b *testing.B) {
+	oa, ca := []uint64{0, 0, 0}, []uint64{64, 64, 64}
+	ob, cb := []uint64{32, 32, 32}, []uint64{64, 64, 64}
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Intersect(oa, ca, ob, cb); !ok {
+			b.Fatal("no intersection")
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package netcdf
+
+import (
+	"testing"
+
+	"pmemcpy/internal/pio"
+	"pmemcpy/internal/serial"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	in := []*varInfo{
+		{Var: pio.Var{Name: "a", Type: serial.Float64, GlobalDims: []uint64{10, 20}}, dataOff: 65536},
+		{Var: pio.Var{Name: "b", Type: serial.Int32, GlobalDims: []uint64{7}}, dataOff: 1665536},
+	}
+	raw, err := encodeHeader(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d vars", len(out))
+	}
+	if out["a"].dataOff != 65536 || out["b"].Type != serial.Int32 || out["a"].GlobalDims[1] != 20 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestHeaderRejectsBadMagicAndTruncation(t *testing.T) {
+	raw, err := encodeHeader([]*varInfo{
+		{Var: pio.Var{Name: "v", Type: serial.Float64, GlobalDims: []uint64{4}}, dataOff: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := decodeHeader(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := decodeHeader(raw[:14]); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestChunkIndexRoundTrip(t *testing.T) {
+	vars := []*varInfo{
+		{Var: pio.Var{Name: "c", Type: serial.Float64, GlobalDims: []uint64{16, 16}}},
+	}
+	chunks := []chunkMeta{
+		{name: "c", offs: []uint64{0, 0}, counts: []uint64{8, 16}, fileOff: 64, storedLen: 700, rawLen: 1024, filtered: true},
+		{name: "c", offs: []uint64{8, 0}, counts: []uint64{8, 16}, fileOff: 764, storedLen: 1024, rawLen: 1024},
+	}
+	raw, err := encodeChunkIndex(vars, "shuffle+rle", chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVars, flt, gotChunks, err := decodeChunkIndex(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flt != "shuffle+rle" || len(gotVars) != 1 || len(gotChunks["c"]) != 2 {
+		t.Fatalf("flt=%q vars=%d chunks=%d", flt, len(gotVars), len(gotChunks["c"]))
+	}
+	if !gotChunks["c"][0].filtered || gotChunks["c"][0].rawLen != 1024 {
+		t.Fatalf("chunk[0] = %+v", gotChunks["c"][0])
+	}
+	if gotChunks["c"][1].filtered {
+		t.Fatal("chunk[1] claims filtered")
+	}
+}
+
+func TestChunkIndexRejectsOrphans(t *testing.T) {
+	chunks := []chunkMeta{{name: "ghost", offs: []uint64{0}, counts: []uint64{4}}}
+	if _, err := encodeChunkIndex(nil, "", chunks); err == nil {
+		t.Fatal("orphan chunks accepted")
+	}
+}
+
+func TestChunkTableTruncation(t *testing.T) {
+	raw := encodeChunkTable([]chunkMeta{
+		{name: "x", offs: []uint64{1}, counts: []uint64{2}, fileOff: 3, storedLen: 4, rawLen: 5},
+	})
+	for _, cut := range []int{2, 8, len(raw) - 1} {
+		if _, err := decodeChunkTable(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

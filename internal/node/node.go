@@ -1,0 +1,47 @@
+// Package node assembles one emulated compute node: the machine model, the
+// PMEM device, and the DAX filesystem mounted on it — the environment of
+// Figure 1 in the paper (compute nodes with local PMEM in front of a shared
+// burst buffer / PFS, of which only the node-local part is on the measured
+// path).
+package node
+
+import (
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/posixfs"
+	"pmemcpy/internal/sim"
+)
+
+// Node is one compute node with local PMEM.
+type Node struct {
+	Machine *sim.Machine
+	Device  *pmem.Device
+	FS      *posixfs.FS
+}
+
+// Option configures node construction.
+type Option func(*options)
+
+type options struct {
+	devOpts []pmem.Option
+}
+
+// WithDeviceOptions forwards options (e.g. crash tracking) to the device.
+func WithDeviceOptions(opts ...pmem.Option) Option {
+	return func(o *options) { o.devOpts = append(o.devOpts, opts...) }
+}
+
+// New builds a node with a PMEM device of devSize bytes formatted with a DAX
+// filesystem.
+func New(cfg sim.Config, devSize int64, opts ...Option) *Node {
+	var o options
+	for _, op := range opts {
+		op(&o)
+	}
+	m := sim.NewMachine(cfg)
+	dev := pmem.New(m, devSize, o.devOpts...)
+	return &Node{
+		Machine: m,
+		Device:  dev,
+		FS:      posixfs.New(dev),
+	}
+}

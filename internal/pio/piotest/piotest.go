@@ -1,0 +1,397 @@
+// Package piotest provides a conformance suite every pio.Library
+// implementation must pass: write/read round trips, multiple variables,
+// partial and shuffled reads, dims queries, and error behaviour. Each
+// library package runs it from its own tests, so the four implementations
+// stay behaviourally interchangeable — which is what makes the harness
+// comparison meaningful.
+package piotest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmemcpy/internal/bytesview"
+	"pmemcpy/internal/mpi"
+	"pmemcpy/internal/nd"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/pio"
+	"pmemcpy/internal/serial"
+	"pmemcpy/internal/sim"
+)
+
+// NewNode builds a default test node (64 MB device).
+func NewNode() *node.Node {
+	n := node.New(sim.DefaultConfig(), 64<<20)
+	n.Machine.SetConcurrency(1)
+	return n
+}
+
+// pattern fills a float64 block so every element encodes its variable and
+// global coordinates, making misplacement detectable.
+func pattern(varIdx int, gdims, offs, counts []uint64) []float64 {
+	out := make([]float64, nd.Size(counts))
+	strides := nd.Strides(gdims)
+	idx := make([]uint64, len(counts))
+	for i := range out {
+		var g uint64
+		for d := range idx {
+			g += (offs[d] + idx[d]) * strides[d]
+		}
+		out[i] = float64(varIdx)*1e9 + float64(g)
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < counts[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// RunConformance runs the full suite against lib.
+func RunConformance(t *testing.T, lib pio.Library) {
+	t.Helper()
+	t.Run("RoundTrip1D", func(t *testing.T) { roundTrip1D(t, lib) })
+	t.Run("RoundTrip3D", func(t *testing.T) { roundTrip3D(t, lib) })
+	t.Run("MultipleVariables", func(t *testing.T) { multipleVariables(t, lib) })
+	t.Run("ShuffledRead", func(t *testing.T) { shuffledRead(t, lib) })
+	t.Run("PartialRead", func(t *testing.T) { partialRead(t, lib) })
+	t.Run("DimsQuery", func(t *testing.T) { dimsQuery(t, lib) })
+	t.Run("UnknownVariable", func(t *testing.T) { unknownVariable(t, lib) })
+	t.Run("OutOfBoundsBlock", func(t *testing.T) { outOfBounds(t, lib) })
+	t.Run("Int32Data", func(t *testing.T) { int32Data(t, lib) })
+}
+
+// writePhase runs a write session storing v over the given decomposition.
+func writePhase(c *mpi.Comm, n *node.Node, lib pio.Library, path string, vars []pio.Var,
+	blocks func(v int, rank int) (offs, counts []uint64)) error {
+	w, err := lib.OpenWrite(c, n, path)
+	if err != nil {
+		return err
+	}
+	for _, v := range vars {
+		if err := w.DefineVar(v); err != nil {
+			return err
+		}
+	}
+	for vi, v := range vars {
+		offs, counts := blocks(vi, c.Rank())
+		data := pattern(vi, v.GlobalDims, offs, counts)
+		if err := w.Write(v.Name, offs, counts, bytesview.Bytes(data)); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// rowDecomp splits dim 0 of gdims evenly across size ranks.
+func rowDecomp(gdims []uint64, rank, size int) (offs, counts []uint64) {
+	offs = make([]uint64, len(gdims))
+	counts = append([]uint64(nil), gdims...)
+	per := gdims[0] / uint64(size)
+	offs[0] = per * uint64(rank)
+	counts[0] = per
+	if rank == size-1 {
+		counts[0] = gdims[0] - offs[0]
+	}
+	return offs, counts
+}
+
+func verifyBlock(varIdx int, gdims, offs, counts []uint64, got []byte) error {
+	want := pattern(varIdx, gdims, offs, counts)
+	if !bytes.Equal(bytesview.Bytes(want), got[:len(want)*8]) {
+		return fmt.Errorf("block (%v,%v) content mismatch", offs, counts)
+	}
+	return nil
+}
+
+func roundTrip1D(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	const ranks = 4
+	v := pio.Var{Name: "A", Type: serial.Float64, GlobalDims: []uint64{400}}
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/rt1d", []pio.Var{v},
+			func(_, rank int) ([]uint64, []uint64) { return rowDecomp(v.GlobalDims, rank, ranks) }); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/rt1d")
+		if err != nil {
+			return err
+		}
+		offs, counts := rowDecomp(v.GlobalDims, c.Rank(), ranks)
+		dst := make([]byte, nd.Size(counts)*8)
+		if err := r.Read("A", offs, counts, dst); err != nil {
+			return err
+		}
+		if err := verifyBlock(0, v.GlobalDims, offs, counts, dst); err != nil {
+			return err
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func roundTrip3D(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	const ranks = 8
+	v := pio.Var{Name: "cube", Type: serial.Float64, GlobalDims: []uint64{16, 12, 10}}
+	grid := nd.Decompose(ranks, 3)
+	blockOf := func(rank int) (offs, counts []uint64) {
+		offs = make([]uint64, 3)
+		counts = make([]uint64, 3)
+		r := uint64(rank)
+		coord := []uint64{r / (grid[1] * grid[2]), (r / grid[2]) % grid[1], r % grid[2]}
+		for d := 0; d < 3; d++ {
+			per := v.GlobalDims[d] / grid[d]
+			offs[d] = coord[d] * per
+			counts[d] = per
+			if coord[d] == grid[d]-1 {
+				counts[d] = v.GlobalDims[d] - offs[d]
+			}
+		}
+		return offs, counts
+	}
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/rt3d", []pio.Var{v},
+			func(_, rank int) ([]uint64, []uint64) { return blockOf(rank) }); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/rt3d")
+		if err != nil {
+			return err
+		}
+		offs, counts := blockOf(c.Rank())
+		dst := make([]byte, nd.Size(counts)*8)
+		if err := r.Read("cube", offs, counts, dst); err != nil {
+			return err
+		}
+		if err := verifyBlock(0, v.GlobalDims, offs, counts, dst); err != nil {
+			return err
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func multipleVariables(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	const ranks = 4
+	vars := []pio.Var{
+		{Name: "rect0", Type: serial.Float64, GlobalDims: []uint64{64, 8}},
+		{Name: "rect1", Type: serial.Float64, GlobalDims: []uint64{32, 16}},
+		{Name: "rect2", Type: serial.Float64, GlobalDims: []uint64{128}},
+	}
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/multi", vars,
+			func(vi, rank int) ([]uint64, []uint64) {
+				return rowDecomp(vars[vi].GlobalDims, rank, ranks)
+			}); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/multi")
+		if err != nil {
+			return err
+		}
+		for vi, v := range vars {
+			offs, counts := rowDecomp(v.GlobalDims, c.Rank(), ranks)
+			dst := make([]byte, nd.Size(counts)*8)
+			if err := r.Read(v.Name, offs, counts, dst); err != nil {
+				return err
+			}
+			if err := verifyBlock(vi, v.GlobalDims, offs, counts, dst); err != nil {
+				return fmt.Errorf("%s: %w", v.Name, err)
+			}
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func shuffledRead(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	const ranks = 4
+	v := pio.Var{Name: "S", Type: serial.Float64, GlobalDims: []uint64{64, 16}}
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/shuf", []pio.Var{v},
+			func(_, rank int) ([]uint64, []uint64) { return rowDecomp(v.GlobalDims, rank, ranks) }); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/shuf")
+		if err != nil {
+			return err
+		}
+		// Read the block written by a different rank.
+		src := (c.Rank() + 1) % ranks
+		offs, counts := rowDecomp(v.GlobalDims, src, ranks)
+		dst := make([]byte, nd.Size(counts)*8)
+		if err := r.Read("S", offs, counts, dst); err != nil {
+			return err
+		}
+		if err := verifyBlock(0, v.GlobalDims, offs, counts, dst); err != nil {
+			return err
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func partialRead(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	const ranks = 2
+	v := pio.Var{Name: "P", Type: serial.Float64, GlobalDims: []uint64{32, 8}}
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/part", []pio.Var{v},
+			func(_, rank int) ([]uint64, []uint64) { return rowDecomp(v.GlobalDims, rank, ranks) }); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/part")
+		if err != nil {
+			return err
+		}
+		// A window straddling the boundary between the two ranks' blocks.
+		offs := []uint64{12, 2}
+		counts := []uint64{8, 4}
+		dst := make([]byte, nd.Size(counts)*8)
+		if err := r.Read("P", offs, counts, dst); err != nil {
+			return err
+		}
+		if err := verifyBlock(0, v.GlobalDims, offs, counts, dst); err != nil {
+			return err
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dimsQuery(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	v := pio.Var{Name: "D", Type: serial.Float64, GlobalDims: []uint64{10, 20, 30}}
+	_, err := mpi.Run(n.Machine, 2, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/dims", []pio.Var{v},
+			func(_, rank int) ([]uint64, []uint64) { return rowDecomp(v.GlobalDims, rank, 2) }); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/dims")
+		if err != nil {
+			return err
+		}
+		dims, err := r.Dims("D")
+		if err != nil {
+			return err
+		}
+		if len(dims) != 3 || dims[0] != 10 || dims[1] != 20 || dims[2] != 30 {
+			return fmt.Errorf("Dims = %v", dims)
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func unknownVariable(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	v := pio.Var{Name: "K", Type: serial.Float64, GlobalDims: []uint64{8}}
+	_, err := mpi.Run(n.Machine, 2, func(c *mpi.Comm) error {
+		if err := writePhase(c, n, lib, "/unk", []pio.Var{v},
+			func(_, rank int) ([]uint64, []uint64) { return rowDecomp(v.GlobalDims, rank, 2) }); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/unk")
+		if err != nil {
+			return err
+		}
+		if _, err := r.Dims("nope"); err == nil {
+			return fmt.Errorf("Dims(unknown) succeeded")
+		}
+		dst := make([]byte, 64)
+		if err := r.Read("nope", []uint64{0}, []uint64{8}, dst); err == nil {
+			return fmt.Errorf("Read(unknown) succeeded")
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func outOfBounds(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	v := pio.Var{Name: "O", Type: serial.Float64, GlobalDims: []uint64{8}}
+	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+		w, err := lib.OpenWrite(c, n, "/oob")
+		if err != nil {
+			return err
+		}
+		if err := w.DefineVar(v); err != nil {
+			return err
+		}
+		if err := w.Write("O", []uint64{4}, []uint64{8}, make([]byte, 64)); err == nil {
+			return fmt.Errorf("out-of-bounds Write succeeded")
+		}
+		// Valid write so Close has something consistent.
+		data := pattern(0, v.GlobalDims, []uint64{0}, []uint64{8})
+		if err := w.Write("O", []uint64{0}, []uint64{8}, bytesview.Bytes(data)); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func int32Data(t *testing.T, lib pio.Library) {
+	n := NewNode()
+	v := pio.Var{Name: "I32", Type: serial.Int32, GlobalDims: []uint64{100}}
+	_, err := mpi.Run(n.Machine, 2, func(c *mpi.Comm) error {
+		w, err := lib.OpenWrite(c, n, "/i32")
+		if err != nil {
+			return err
+		}
+		if err := w.DefineVar(v); err != nil {
+			return err
+		}
+		offs, counts := rowDecomp(v.GlobalDims, c.Rank(), 2)
+		vals := make([]int32, counts[0])
+		for i := range vals {
+			vals[i] = int32(offs[0]) + int32(i)
+		}
+		if err := w.Write("I32", offs, counts, bytesview.Bytes(vals)); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		r, err := lib.OpenRead(c, n, "/i32")
+		if err != nil {
+			return err
+		}
+		dst := make([]byte, counts[0]*4)
+		if err := r.Read("I32", offs, counts, dst); err != nil {
+			return err
+		}
+		got := bytesview.OfCopy[int32](dst)
+		for i, g := range got {
+			if g != int32(offs[0])+int32(i) {
+				return fmt.Errorf("int32[%d] = %d", i, g)
+			}
+		}
+		return r.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

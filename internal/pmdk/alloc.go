@@ -1,0 +1,293 @@
+package pmdk
+
+import (
+	"fmt"
+
+	"pmemcpy/internal/sim"
+)
+
+// Persistent allocator: segregated free lists for small blocks plus a
+// first-fit list for huge blocks, carving fresh space from a bump pointer.
+// All metadata mutations happen inside the caller's transaction, so a crash
+// at any point either completes or fully undoes an Alloc/Free — the property
+// the crash tests verify.
+//
+// Metadata layout at Pool.allocOff:
+//
+//	0:  bump      uint64  next never-used heap offset (pool-relative)
+//	8:  classHead [nSizeClasses]uint64  free-list heads (PMIDs)
+//	56: hugeHead  uint64  free list of huge blocks
+//
+// Every block is preceded by a 16-byte header {size uint64 (total block
+// size including the header), state uint64}. The PMID handed to clients is
+// the payload offset. Free blocks store the next free PMID in their first
+// payload word.
+const (
+	nSizeClasses  = 6 // block sizes 64, 128, 256, 512, 1024, 2048
+	minBlock      = 64
+	maxClassBlock = minBlock << (nSizeClasses - 1)
+
+	allocMetaSize = 8 + 8*nSizeClasses + 8
+
+	blockHeaderSize = 16
+
+	stateAlloc = 0xA110C8ED00000001
+	stateFree  = 0xF4EEB10C00000001
+)
+
+type allocator struct {
+	p       *Pool
+	metaOff int64
+}
+
+func (a *allocator) bumpOff() PMID { return PMID(a.metaOff) }
+func (a *allocator) classOff(c int) PMID {
+	return PMID(a.metaOff + 8 + 8*int64(c))
+}
+func (a *allocator) hugeOff() PMID { return PMID(a.metaOff + 8 + 8*nSizeClasses) }
+
+// initFresh sets the bump pointer to the heap start on a newly created pool.
+func (a *allocator) initFresh(clk *sim.Clock) {
+	tx, err := a.p.Begin(clk)
+	if err != nil {
+		panic(err)
+	}
+	if err := tx.WriteU64(a.bumpOff(), uint64(a.p.heapOff)); err != nil {
+		panic(err)
+	}
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+}
+
+// classFor returns the size-class index whose block fits a payload of n
+// bytes, or -1 if n needs a huge block.
+func classFor(n int64) int {
+	need := n + blockHeaderSize
+	bs := int64(minBlock)
+	for c := 0; c < nSizeClasses; c++ {
+		if need <= bs {
+			return c
+		}
+		bs <<= 1
+	}
+	return -1
+}
+
+// blockSizeOf returns the total block size for class c.
+func blockSizeOf(c int) int64 { return minBlock << c }
+
+// hugeBlockSize returns the total block size for a huge payload of n bytes,
+// rounded to the cacheline so payloads stay 8-aligned and flushes stay
+// line-aligned.
+func hugeBlockSize(n int64) int64 {
+	return alignUp(n+blockHeaderSize, sim.CachelineSize)
+}
+
+// header reads a block header given its payload PMID.
+func (a *allocator) header(clk *sim.Clock, id PMID) (size int64, state uint64, err error) {
+	if id < PMID(a.p.heapOff)+blockHeaderSize || int64(id) >= a.p.heapEnd {
+		return 0, 0, fmt.Errorf("%w: %d outside heap", ErrBadPointer, id)
+	}
+	s, err := a.p.ReadU64(clk, id-blockHeaderSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := a.p.ReadU64(clk, id-8)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(s), st, nil
+}
+
+// Alloc allocates a payload of n bytes inside tx and returns its PMID. The
+// payload contents are undefined (PMDK semantics; callers zero or overwrite).
+func (p *Pool) Alloc(tx *Tx, n int64) (PMID, error) {
+	if n <= 0 {
+		return Null, fmt.Errorf("pmdk: Alloc size must be positive, got %d", n)
+	}
+	return p.alloc.alloc(tx, n)
+}
+
+// Free returns the block holding id to the allocator inside tx.
+func (p *Pool) Free(tx *Tx, id PMID) error {
+	return p.alloc.free(tx, id)
+}
+
+// UsableSize returns the payload capacity of the block holding id.
+func (p *Pool) UsableSize(clk *sim.Clock, id PMID) (int64, error) {
+	size, state, err := p.alloc.header(clk, id)
+	if err != nil {
+		return 0, err
+	}
+	if state != stateAlloc {
+		return 0, fmt.Errorf("%w: %d not allocated", ErrBadPointer, id)
+	}
+	return size - blockHeaderSize, nil
+}
+
+func (a *allocator) alloc(tx *Tx, n int64) (PMID, error) {
+	tx.lockAllocator()
+	clk := tx.clk
+	c := classFor(n)
+	if c >= 0 {
+		head, err := a.p.ReadU64(clk, a.classOff(c))
+		if err != nil {
+			return Null, err
+		}
+		if head != 0 {
+			return a.popFree(tx, a.classOff(c), PMID(head))
+		}
+		return a.carve(tx, blockSizeOf(c))
+	}
+	// Huge path: first-fit scan of the huge free list.
+	want := hugeBlockSize(n)
+	prev := a.hugeOff()
+	cur, err := a.p.ReadU64(clk, prev)
+	if err != nil {
+		return Null, err
+	}
+	for cur != 0 {
+		id := PMID(cur)
+		size, state, err := a.header(clk, id)
+		if err != nil {
+			return Null, err
+		}
+		if state != stateFree {
+			return Null, fmt.Errorf("%w: huge free list entry %d in state %#x", ErrCorrupt, id, state)
+		}
+		if size >= want {
+			return a.takeHuge(tx, prev, id, size, want)
+		}
+		prev = id // next pointer lives in the first payload word
+		cur, err = a.p.ReadU64(clk, id)
+		if err != nil {
+			return Null, err
+		}
+	}
+	return a.carve(tx, want)
+}
+
+// popFree removes the head block of a free list and marks it allocated.
+func (a *allocator) popFree(tx *Tx, listOff, id PMID) (PMID, error) {
+	next, err := a.p.ReadU64(tx.clk, id)
+	if err != nil {
+		return Null, err
+	}
+	if err := tx.WriteU64(listOff, next); err != nil {
+		return Null, err
+	}
+	if err := tx.WriteU64(id-8, stateAlloc); err != nil {
+		return Null, err
+	}
+	a.p.bumpStat(func(s *Stats) { s.Allocs++ })
+	return id, nil
+}
+
+// takeHuge unlinks a huge free block, splitting off the tail if it is large
+// enough to hold another block.
+func (a *allocator) takeHuge(tx *Tx, prev, id PMID, size, want int64) (PMID, error) {
+	next, err := a.p.ReadU64(tx.clk, id)
+	if err != nil {
+		return Null, err
+	}
+	remainder := size - want
+	if remainder >= minBlock {
+		// Split: the tail becomes a new free block linked in place of id.
+		tailHdr := id - blockHeaderSize + PMID(want)
+		if err := tx.WriteU64(tailHdr, uint64(remainder)); err != nil {
+			return Null, err
+		}
+		if err := tx.WriteU64(tailHdr+8, stateFree); err != nil {
+			return Null, err
+		}
+		if err := tx.WriteU64(tailHdr+blockHeaderSize, next); err != nil {
+			return Null, err
+		}
+		if err := tx.WriteU64(prev, uint64(tailHdr+blockHeaderSize)); err != nil {
+			return Null, err
+		}
+		if err := tx.WriteU64(id-blockHeaderSize, uint64(want)); err != nil {
+			return Null, err
+		}
+	} else {
+		if err := tx.WriteU64(prev, next); err != nil {
+			return Null, err
+		}
+	}
+	if err := tx.WriteU64(id-8, stateAlloc); err != nil {
+		return Null, err
+	}
+	a.p.bumpStat(func(s *Stats) { s.Allocs++ })
+	return id, nil
+}
+
+// carve takes a fresh block of blockSize bytes from the bump region.
+func (a *allocator) carve(tx *Tx, blockSize int64) (PMID, error) {
+	bump, err := a.p.ReadU64(tx.clk, a.bumpOff())
+	if err != nil {
+		return Null, err
+	}
+	start := int64(bump)
+	if start+blockSize > a.p.heapEnd {
+		return Null, fmt.Errorf("%w: heap exhausted (%d of %d used, need %d)",
+			ErrNoSpace, start-a.p.heapOff, a.p.heapEnd-a.p.heapOff, blockSize)
+	}
+	if err := tx.WriteU64(a.bumpOff(), uint64(start+blockSize)); err != nil {
+		return Null, err
+	}
+	if err := tx.WriteU64(PMID(start), uint64(blockSize)); err != nil {
+		return Null, err
+	}
+	if err := tx.WriteU64(PMID(start+8), stateAlloc); err != nil {
+		return Null, err
+	}
+	a.p.bumpStat(func(s *Stats) { s.Allocs++ })
+	return PMID(start + blockHeaderSize), nil
+}
+
+func (a *allocator) free(tx *Tx, id PMID) error {
+	tx.lockAllocator()
+	size, state, err := a.header(tx.clk, id)
+	if err != nil {
+		return err
+	}
+	if state != stateAlloc {
+		return fmt.Errorf("%w: Free of %d in state %#x (double free?)", ErrBadPointer, id, state)
+	}
+	var listOff PMID
+	if size <= maxClassBlock && size >= minBlock && size&(size-1) == 0 {
+		c := 0
+		for blockSizeOf(c) != size {
+			c++
+		}
+		listOff = a.classOff(c)
+	} else {
+		listOff = a.hugeOff()
+	}
+	head, err := a.p.ReadU64(tx.clk, listOff)
+	if err != nil {
+		return err
+	}
+	if err := tx.WriteU64(id-8, stateFree); err != nil {
+		return err
+	}
+	if err := tx.WriteU64(id, head); err != nil {
+		return err
+	}
+	if err := tx.WriteU64(listOff, uint64(id)); err != nil {
+		return err
+	}
+	a.p.bumpStat(func(s *Stats) { s.Frees++ })
+	return nil
+}
+
+// HeapUsed returns the number of bump-allocated bytes (an upper bound on
+// live data; freed blocks are reused but not returned to the bump region).
+func (p *Pool) HeapUsed(clk *sim.Clock) (int64, error) {
+	bump, err := p.ReadU64(clk, p.alloc.bumpOff())
+	if err != nil {
+		return 0, err
+	}
+	return int64(bump) - p.heapOff, nil
+}

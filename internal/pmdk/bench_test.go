@@ -1,0 +1,167 @@
+package pmdk
+
+import (
+	"fmt"
+	"testing"
+
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/sim"
+)
+
+func benchPool(b *testing.B, size int64) (*Pool, *sim.Clock) {
+	b.Helper()
+	m := sim.NewMachine(sim.DefaultConfig())
+	m.SetConcurrency(1)
+	dev := pmem.New(m, size)
+	mp, err := pmem.NewMapping(dev, 0, size, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk := new(sim.Clock)
+	p, err := Create(clk, mp, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, clk
+}
+
+// BenchmarkTxCommit measures the full transaction cycle for one small field
+// update (the metadata-operation building block of every store).
+func BenchmarkTxCommit(b *testing.B) {
+	p, clk := benchPool(b, 64<<20)
+	root, _ := p.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := p.Begin(clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.WriteU64(root, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocFree measures allocator throughput with immediate reuse.
+func BenchmarkAllocFree(b *testing.B) {
+	for _, size := range []int64{64, 1024, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			p, clk := benchPool(b, 256<<20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := p.Begin(clk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id, err := p.Alloc(tx, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Free(tx, id); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashtablePut measures insert throughput into a shared table.
+func BenchmarkHashtablePut(b *testing.B) {
+	p, clk := benchPool(b, 512<<20)
+	tx, err := p.Begin(clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := CreateHashtable(tx, 1<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	ht, err := OpenHashtable(clk, p, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if err := ht.Put(clk, key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashtableGet measures lookup throughput.
+func BenchmarkHashtableGet(b *testing.B) {
+	p, clk := benchPool(b, 256<<20)
+	tx, err := p.Begin(clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := CreateHashtable(tx, 1<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	ht, err := OpenHashtable(clk, p, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		if err := ht.Put(clk, []byte(fmt.Sprintf("key-%d", i)), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := ht.Get(clk, []byte(fmt.Sprintf("key-%d", i%keys)))
+		if err != nil || !ok {
+			b.Fatalf("Get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures Open-time lane recovery with one aborted
+// transaction outstanding.
+func BenchmarkRecovery(b *testing.B) {
+	m := sim.NewMachine(sim.DefaultConfig())
+	m.SetConcurrency(1)
+	dev := pmem.New(m, 64<<20, pmem.WithCrashTracking())
+	mp, err := pmem.NewMapping(dev, 0, 64<<20, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk := new(sim.Clock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := Create(clk, mp, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx, err := p.Begin(clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root, _ := p.Root()
+		if err := tx.WriteU64(root, 1); err != nil {
+			b.Fatal(err)
+		}
+		dev.Crash(pmem.CrashKeepAll, nil)
+		b.StartTimer()
+		if _, err := Open(clk, mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package pmem emulates a byte-addressable persistent memory device, following
+// the methodology the paper itself uses (DRAM-backed emulation with injected
+// latency and bandwidth constraints: 300 ns read / 125 ns write latency,
+// 30 GB/s read / 8 GB/s write bandwidth).
+//
+// The device exposes two access paths mirroring the paper's distinction:
+//
+//   - the kernel path (ReadAt/WriteAt), used by the POSIX filesystem layer,
+//     which copies data and charges syscall-free device costs internally; and
+//   - the DAX path (Slice + ChargeRead/ChargeWrite + Persist), which gives
+//     callers zero-copy mapped access; the caller moves bytes itself and
+//     charges the movement once, which is exactly how pMEMCPY serializes
+//     directly into PMEM without a DRAM staging copy.
+//
+// For crash-consistency testing the device can track unpersisted cachelines
+// with their pre-images; Crash rolls back an adversarial subset of them,
+// emulating the loss of CPU-cache-resident stores that never reached the
+// persistence domain.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmemcpy/internal/sim"
+)
+
+// ErrOutOfRange is returned when an access falls outside the device.
+var ErrOutOfRange = errors.New("pmem: access out of device range")
+
+// ErrFailed is returned by every operation after an injected failure fired;
+// see FailAfterPersists. It models the device becoming unreachable at the
+// instant of a power failure, forcing the software stack to unwind exactly
+// where the crash hit.
+var ErrFailed = errors.New("pmem: device failed (injected fault)")
+
+// Device is an emulated PMEM device. All methods are safe for concurrent use
+// by multiple ranks as long as the ranks access disjoint byte ranges, which is
+// the discipline every client in this repository follows (overlapping
+// metadata is protected by locks in the pmdk layer).
+type Device struct {
+	machine *sim.Machine
+	data    []byte
+
+	tracking bool
+	mu       sync.Mutex
+	preimage map[int64][]byte // line index -> pre-image of first unpersisted write
+
+	failed        atomic.Bool
+	persistBudget atomic.Int64 // noFailInjection = disabled
+}
+
+const noFailInjection = int64(-1)
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithCrashTracking enables cacheline pre-image tracking so Crash can roll
+// back unpersisted stores. Tracking costs memory proportional to the dirty
+// set, so experiments leave it off and crash tests turn it on.
+func WithCrashTracking() Option {
+	return func(d *Device) { d.tracking = true }
+}
+
+// New creates a device of the given size backed by host DRAM.
+func New(m *sim.Machine, size int64, opts ...Option) *Device {
+	if size <= 0 {
+		panic(fmt.Sprintf("pmem: device size must be positive, got %d", size))
+	}
+	d := &Device{
+		machine:  m,
+		data:     make([]byte, size),
+		preimage: make(map[int64][]byte),
+	}
+	d.persistBudget.Store(noFailInjection)
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// FailAfterPersists arms failure injection: the device completes n more
+// Persist operations, then every subsequent operation fails with ErrFailed
+// (the power is gone). n < 0 disarms injection. Arming also clears a
+// previously fired failure, so a test can re-arm after Crash.
+func (d *Device) FailAfterPersists(n int64) {
+	if n < 0 {
+		d.persistBudget.Store(noFailInjection)
+	} else {
+		d.persistBudget.Store(n)
+	}
+	d.failed.Store(false)
+}
+
+// Failed reports whether injected failure has fired.
+func (d *Device) Failed() bool { return d.failed.Load() }
+
+func (d *Device) checkAlive() error {
+	if d.failed.Load() {
+		return ErrFailed
+	}
+	return nil
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.data)) }
+
+// Machine returns the machine model this device charges costs against.
+func (d *Device) Machine() *sim.Machine { return d.machine }
+
+// Tracking reports whether crash tracking is enabled.
+func (d *Device) Tracking() bool { return d.tracking }
+
+func (d *Device) check(off, n int64) error {
+	if err := d.checkAlive(); err != nil {
+		return err
+	}
+	if off < 0 || n < 0 || off+n > int64(len(d.data)) {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+n, len(d.data))
+	}
+	return nil
+}
+
+// Slice returns the live device bytes in [off, off+n). This is the DAX
+// mapping: no copy happens and no cost is charged. Writers must bracket their
+// stores with CaptureRange (before) and Persist (after) for crash tracking,
+// and charge the movement with ChargeWrite.
+func (d *Device) Slice(off, n int64) ([]byte, error) {
+	if err := d.check(off, n); err != nil {
+		return nil, err
+	}
+	return d.data[off : off+n : off+n], nil
+}
+
+// lineRange returns the first and one-past-last cacheline indices covering
+// [off, off+n).
+func lineRange(off, n int64) (int64, int64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	return off / sim.CachelineSize, (off + n + sim.CachelineSize - 1) / sim.CachelineSize
+}
+
+// Lines returns the number of cachelines covering an n-byte access at off.
+func Lines(off, n int64) int64 {
+	lo, hi := lineRange(off, n)
+	return hi - lo
+}
+
+// CaptureRange records pre-images of every cacheline in [off, off+n) that is
+// not already dirty. It is a no-op when crash tracking is disabled.
+func (d *Device) CaptureRange(off, n int64) error {
+	if err := d.check(off, n); err != nil {
+		return err
+	}
+	if !d.tracking || n == 0 {
+		return nil
+	}
+	lo, hi := lineRange(off, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for l := lo; l < hi; l++ {
+		if _, ok := d.preimage[l]; ok {
+			continue
+		}
+		start := l * sim.CachelineSize
+		end := start + sim.CachelineSize
+		if end > int64(len(d.data)) {
+			end = int64(len(d.data))
+		}
+		img := make([]byte, end-start)
+		copy(img, d.data[start:end])
+		d.preimage[l] = img
+	}
+	return nil
+}
+
+// ChargeRead charges clk for loading n bytes from the device through the DAX
+// path: the device read latency once, plus n bytes at the caller's share of
+// the device read port. When mapSync is true the per-cacheline page-fault
+// synchronization penalty of a MAP_SYNC mapping is added — the paper's
+// PMCPY-B reads perform no better than ADIOS for exactly this reason.
+func (d *Device) ChargeRead(clk *sim.Clock, n int64, mapSync bool) {
+	if n <= 0 {
+		return
+	}
+	cfg := d.machine.Config()
+	clk.Advance(cfg.PMEMReadLatency)
+	clk.Advance(d.machine.PMEMRead.Cost(n))
+	if mapSync {
+		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
+		clk.Advance(time.Duration(lines) * cfg.MapSyncLine)
+	}
+}
+
+// ChargeWrite charges clk for storing n bytes through the DAX path. When
+// mapSync is true the per-cacheline write-through penalty of a MAP_SYNC
+// mapping is added, which is the paper's PMCPY-B configuration.
+func (d *Device) ChargeWrite(clk *sim.Clock, n int64, mapSync bool) {
+	if n <= 0 {
+		return
+	}
+	cfg := d.machine.Config()
+	clk.Advance(cfg.PMEMWriteLatency)
+	clk.Advance(d.machine.PMEMWrite.Cost(n))
+	if mapSync {
+		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
+		clk.Advance(time.Duration(lines) * cfg.MapSyncLine)
+	}
+}
+
+// ReadAt implements the kernel read path: it copies device bytes into p and
+// charges the device read cost. Filesystem layers add their own syscall and
+// page-cache costs on top.
+func (d *Device) ReadAt(clk *sim.Clock, p []byte, off int64) (int, error) {
+	if err := d.check(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	n := copy(p, d.data[off:])
+	d.ChargeRead(clk, int64(n), false)
+	return n, nil
+}
+
+// WriteAt implements the kernel write path: it captures pre-images, copies p
+// into the device, and charges the device write cost. The write is left
+// unpersisted until Persist is called (the kernel path's fsync analogue).
+func (d *Device) WriteAt(clk *sim.Clock, p []byte, off int64) (int, error) {
+	if err := d.check(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	if err := d.CaptureRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	n := copy(d.data[off:], p)
+	d.ChargeWrite(clk, int64(n), false)
+	return n, nil
+}
+
+// Persist makes [off, off+n) durable: it charges the flush cost (one write
+// latency per fence) and drops the pre-images of the covered cachelines so a
+// subsequent Crash will not roll them back. It models CLWB of the covered
+// lines followed by an SFENCE.
+func (d *Device) Persist(clk *sim.Clock, off, n int64) error {
+	if err := d.check(off, n); err != nil {
+		return err
+	}
+	if b := d.persistBudget.Load(); b != noFailInjection {
+		if b <= 0 {
+			d.failed.Store(true)
+			return ErrFailed
+		}
+		d.persistBudget.Add(-1)
+	}
+	cfg := d.machine.Config()
+	clk.Advance(cfg.PMEMWriteLatency)
+	if !d.tracking || n == 0 {
+		return nil
+	}
+	lo, hi := lineRange(off, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for l := lo; l < hi; l++ {
+		delete(d.preimage, l)
+	}
+	return nil
+}
+
+// Fence charges a store fence without persisting any particular range.
+func (d *Device) Fence(clk *sim.Clock) {
+	clk.Advance(d.machine.Config().PMEMWriteLatency)
+}
+
+// DirtyLines returns the number of cachelines with unpersisted writes. It is
+// only meaningful when crash tracking is enabled.
+func (d *Device) DirtyLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.preimage)
+}
+
+// CrashMode selects the adversary used by Crash.
+type CrashMode int
+
+const (
+	// CrashLoseAll rolls back every unpersisted cacheline: nothing that was
+	// not explicitly persisted survives. This is the strongest adversary for
+	// code that forgot a flush.
+	CrashLoseAll CrashMode = iota
+	// CrashKeepAll keeps every unpersisted cacheline, as if the CPU cache
+	// happened to be written back in full before power loss.
+	CrashKeepAll
+	// CrashRandom keeps or rolls back each unpersisted cacheline
+	// independently at random, emulating arbitrary cache eviction order.
+	CrashRandom
+)
+
+// Crash simulates a power failure: depending on mode, unpersisted cachelines
+// are rolled back to their pre-images. rng is only used by CrashRandom and
+// may be nil otherwise. After Crash the device content is what recovery code
+// would find at next startup; tracking state is reset.
+func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
+	if !d.tracking {
+		panic("pmem: Crash requires WithCrashTracking")
+	}
+	if mode == CrashRandom && rng == nil {
+		panic("pmem: CrashRandom requires a rand source")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for l, img := range d.preimage {
+		keep := false
+		switch mode {
+		case CrashKeepAll:
+			keep = true
+		case CrashRandom:
+			keep = rng.Intn(2) == 0
+		}
+		if !keep {
+			copy(d.data[l*sim.CachelineSize:], img)
+		}
+	}
+	d.preimage = make(map[int64][]byte)
+	// Power is restored after the crash: disarm injection so recovery code
+	// can run against the surviving state.
+	d.persistBudget.Store(noFailInjection)
+	d.failed.Store(false)
+}

@@ -1,0 +1,12 @@
+package pnetcdf_test
+
+import (
+	"testing"
+
+	"pmemcpy/internal/pio/piotest"
+	"pmemcpy/internal/pnetcdf"
+)
+
+func TestConformance(t *testing.T) {
+	piotest.RunConformance(t, pnetcdf.Library{})
+}

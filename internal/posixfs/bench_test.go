@@ -1,0 +1,100 @@
+package posixfs
+
+import (
+	"testing"
+
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/sim"
+)
+
+func benchFS(b *testing.B, size int64) (*FS, *sim.Clock) {
+	b.Helper()
+	m := sim.NewMachine(sim.DefaultConfig())
+	m.SetConcurrency(1)
+	return New(pmem.New(m, size)), new(sim.Clock)
+}
+
+// BenchmarkKernelWrite measures the kernel write path (syscall + device).
+func BenchmarkKernelWrite(b *testing.B) {
+	fs, clk := benchFS(b, 256<<20)
+	f, err := fs.Create(clk, "/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(clk, buf, int64(i%64)<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelRead measures the kernel read path.
+func BenchmarkKernelRead(b *testing.B) {
+	fs, clk := benchFS(b, 256<<20)
+	f, err := fs.Create(clk, "/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Truncate(clk, 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(clk, buf, int64(i%63)<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMmapAccess measures the DAX path: mapped slice copies, no kernel.
+func BenchmarkMmapAccess(b *testing.B) {
+	fs, clk := benchFS(b, 256<<20)
+	f, err := fs.Create(clk, "/pool")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Truncate(clk, 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	mp, err := f.Mmap(clk, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err := mp.Slice(int64(i%63)<<20, int64(len(buf)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(dst, buf)
+		mp.ChargeWrite(clk, int64(len(buf)))
+	}
+}
+
+// BenchmarkNamespaceOps measures metadata operations (create/stat/remove).
+func BenchmarkNamespaceOps(b *testing.B) {
+	fs, clk := benchFS(b, 64<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fs.Create(clk, "/meta")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Stat(clk, "/meta"); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Remove(clk, "/meta"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

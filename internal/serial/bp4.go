@@ -1,0 +1,189 @@
+package serial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pmemcpy/internal/bytesview"
+)
+
+// bp4Codec is the default, self-describing format modelled on the ADIOS BP4
+// format the paper uses: a compact header, per-block min/max characteristics
+// ("lightweight data characterization"), and the payload stored exactly as
+// produced by the process.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "BP4\x01"
+//	type    uint8
+//	ndims   uint8
+//	flags   uint16   bit 0: characteristics present
+//	dims    [ndims]uint64
+//	paylen  uint64
+//	min,max float64  (present iff flags bit 0)
+//	payload [paylen]byte
+type bp4Codec struct{}
+
+var bp4Magic = [4]byte{'B', 'P', '4', 1}
+
+const bp4FlagStats = 1 << 0
+
+func init() { Register(bp4Codec{}) }
+
+func (bp4Codec) Name() string                    { return "bp4" }
+func (bp4Codec) SelfDescribing() bool            { return true }
+func (bp4Codec) CostProfile() (float64, float64) { return 1.30, 1.0 }
+func (bp4Codec) headerSize(ndims int, stats bool) int {
+	n := 4 + 1 + 1 + 2 + 8*ndims + 8
+	if stats {
+		n += 16
+	}
+	return n
+}
+
+func (c bp4Codec) EncodedSize(d *Datum) int {
+	return c.headerSize(len(d.Dims), d.Type.Fixed()) + len(d.Payload)
+}
+
+func (c bp4Codec) EncodeTo(dst []byte, d *Datum) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	need := c.EncodedSize(d)
+	if len(dst) < need {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, need, len(dst))
+	}
+	stats := d.Type.Fixed()
+	off := copy(dst, bp4Magic[:])
+	dst[off] = byte(d.Type)
+	dst[off+1] = byte(len(d.Dims))
+	var flags uint16
+	if stats {
+		flags |= bp4FlagStats
+	}
+	binary.LittleEndian.PutUint16(dst[off+2:], flags)
+	off += 4
+	for _, v := range d.Dims {
+		binary.LittleEndian.PutUint64(dst[off:], v)
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(dst[off:], uint64(len(d.Payload)))
+	off += 8
+	if stats {
+		mn, mx := characterize(d)
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(mn))
+		binary.LittleEndian.PutUint64(dst[off+8:], math.Float64bits(mx))
+		off += 16
+	}
+	off += copy(dst[off:], d.Payload)
+	return off, nil
+}
+
+func (c bp4Codec) Decode(src []byte, _ *Datum) (*Datum, error) {
+	if len(src) < 16 {
+		return nil, ErrTruncated
+	}
+	if !bytes.Equal(src[:4], bp4Magic[:]) {
+		return nil, fmt.Errorf("%w: %x", ErrBadMagic, src[:4])
+	}
+	d := &Datum{Type: DType(src[4])}
+	ndims := int(src[5])
+	flags := binary.LittleEndian.Uint16(src[6:8])
+	if ndims > MaxDims {
+		return nil, fmt.Errorf("%w: rank %d", ErrBadDatum, ndims)
+	}
+	hdr := c.headerSize(ndims, flags&bp4FlagStats != 0)
+	if len(src) < hdr {
+		return nil, ErrTruncated
+	}
+	off := 8
+	if ndims > 0 {
+		d.Dims = make([]uint64, ndims)
+		for i := range d.Dims {
+			d.Dims[i] = binary.LittleEndian.Uint64(src[off:])
+			off += 8
+		}
+	}
+	paylen := binary.LittleEndian.Uint64(src[off:])
+	off += 8
+	if flags&bp4FlagStats != 0 {
+		off += 16
+	}
+	if uint64(len(src)-off) < paylen {
+		return nil, ErrTruncated
+	}
+	d.Payload = src[off : off+int(paylen) : off+int(paylen)]
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Stats decodes only the min/max characteristics of a BP4 block, or ok=false
+// if the block carries none.
+func (bp4Codec) Stats(src []byte) (mn, mx float64, ok bool, err error) {
+	if len(src) < 8 {
+		return 0, 0, false, ErrTruncated
+	}
+	if !bytes.Equal(src[:4], bp4Magic[:]) {
+		return 0, 0, false, fmt.Errorf("%w: %x", ErrBadMagic, src[:4])
+	}
+	ndims := int(src[5])
+	flags := binary.LittleEndian.Uint16(src[6:8])
+	if flags&bp4FlagStats == 0 {
+		return 0, 0, false, nil
+	}
+	off := 8 + 8*ndims + 8
+	if len(src) < off+16 {
+		return 0, 0, false, ErrTruncated
+	}
+	mn = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+	mx = math.Float64frombits(binary.LittleEndian.Uint64(src[off+8:]))
+	return mn, mx, true, nil
+}
+
+// characterize computes min/max of a fixed-type payload as float64, the BP
+// "data characterization" pass.
+func characterize(d *Datum) (float64, float64) {
+	if len(d.Payload) == 0 {
+		return 0, 0
+	}
+	switch d.Type {
+	case Int8:
+		return minMax(bytesview.OfCopy[int8](d.Payload))
+	case Uint8:
+		return minMax(bytesview.OfCopy[uint8](d.Payload))
+	case Int16:
+		return minMax(bytesview.OfCopy[int16](d.Payload))
+	case Uint16:
+		return minMax(bytesview.OfCopy[uint16](d.Payload))
+	case Int32:
+		return minMax(bytesview.OfCopy[int32](d.Payload))
+	case Uint32:
+		return minMax(bytesview.OfCopy[uint32](d.Payload))
+	case Int64:
+		return minMax(bytesview.OfCopy[int64](d.Payload))
+	case Uint64:
+		return minMax(bytesview.OfCopy[uint64](d.Payload))
+	case Float32:
+		return minMax(bytesview.OfCopy[float32](d.Payload))
+	case Float64:
+		return minMax(bytesview.OfCopy[float64](d.Payload))
+	}
+	return 0, 0
+}
+
+func minMax[T bytesview.Element](s []T) (float64, float64) {
+	mn, mx := s[0], s[0]
+	for _, v := range s[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return float64(mn), float64(mx)
+}

@@ -1,0 +1,89 @@
+package serial
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec serializes data into caller-provided buffers and back. All formats
+// are little-endian.
+type Codec interface {
+	// Name is the codec's registry key ("bp4", "flat", "cbin", "raw").
+	Name() string
+
+	// SelfDescribing reports whether Decode can recover type and dims from
+	// the encoded bytes alone. Non-self-describing codecs (raw) need the
+	// hint argument of Decode filled in by out-of-band metadata.
+	SelfDescribing() bool
+
+	// EncodedSize returns the exact number of bytes EncodeTo will produce
+	// for d. It is used to size allocations in storage before encoding.
+	EncodedSize(d *Datum) int
+
+	// EncodeTo serializes d into dst, which must be at least EncodedSize(d)
+	// bytes, and returns the number of bytes written. dst may be mapped
+	// device memory: codecs write it exactly once, front to back.
+	EncodeTo(dst []byte, d *Datum) (int, error)
+
+	// Decode parses an encoded datum from src. Self-describing codecs
+	// ignore hint; raw requires hint.Type (and hint.Dims for arrays). The
+	// returned datum's payload aliases src whenever the format permits, so
+	// decoding from mapped PMEM performs no copy.
+	Decode(src []byte, hint *Datum) (*Datum, error)
+
+	// CostProfile returns the number of passes over the payload that
+	// encoding and decoding perform, used by the virtual-time model: a
+	// characterizing format like BP4 reads the data an extra time to
+	// compute min/max statistics.
+	CostProfile() (encodePasses, decodePasses float64)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Codec)
+)
+
+// Register adds a codec to the registry. Registering two codecs with the
+// same name is a programming error and panics.
+func Register(c Codec) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[c.Name()]; dup {
+		panic(fmt.Sprintf("serial: duplicate codec %q", c.Name()))
+	}
+	registry[c.Name()] = c
+}
+
+// Get returns the codec registered under name.
+func Get(name string) (Codec, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("serial: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names returns the sorted names of all registered codecs.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default returns the default codec, BP4, matching the paper ("By default,
+// the BP4 serialization (same as ADIOS) is used").
+func Default() Codec {
+	c, err := Get("bp4")
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// flatCodec is a Cap'n-Proto-style format: every field lives in an
+// 8-byte-aligned word and the payload is stored verbatim at an 8-byte-aligned
+// offset, so decoding is a pure pointer fix-up — the returned payload always
+// aliases the source buffer with correct alignment for any element type.
+//
+// Layout (little-endian, all offsets multiples of 8):
+//
+//	word 0: magic uint32 "FLT1" | type uint8 | ndims uint8 | pad uint16
+//	word 1: paylen uint64
+//	words : dims, one word each
+//	payload, padded to the next word boundary
+type flatCodec struct{}
+
+const flatMagic = uint32(0x31544C46) // "FLT1" little-endian
+
+func init() { Register(flatCodec{}) }
+
+func (flatCodec) Name() string                    { return "flat" }
+func (flatCodec) SelfDescribing() bool            { return true }
+func (flatCodec) CostProfile() (float64, float64) { return 1.0, 1.0 }
+
+func flatHeaderSize(ndims int) int { return 16 + 8*ndims }
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+func (flatCodec) EncodedSize(d *Datum) int {
+	return flatHeaderSize(len(d.Dims)) + pad8(len(d.Payload))
+}
+
+func (c flatCodec) EncodeTo(dst []byte, d *Datum) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	need := c.EncodedSize(d)
+	if len(dst) < need {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, need, len(dst))
+	}
+	binary.LittleEndian.PutUint32(dst[0:], flatMagic)
+	dst[4] = byte(d.Type)
+	dst[5] = byte(len(d.Dims))
+	dst[6], dst[7] = 0, 0
+	binary.LittleEndian.PutUint64(dst[8:], uint64(len(d.Payload)))
+	off := 16
+	for _, v := range d.Dims {
+		binary.LittleEndian.PutUint64(dst[off:], v)
+		off += 8
+	}
+	n := copy(dst[off:], d.Payload)
+	for i := off + n; i < need; i++ {
+		dst[i] = 0
+	}
+	return need, nil
+}
+
+func (flatCodec) Decode(src []byte, _ *Datum) (*Datum, error) {
+	if len(src) < 16 {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(src[0:]) != flatMagic {
+		return nil, fmt.Errorf("%w: %x", ErrBadMagic, src[:4])
+	}
+	d := &Datum{Type: DType(src[4])}
+	ndims := int(src[5])
+	if ndims > MaxDims {
+		return nil, fmt.Errorf("%w: rank %d", ErrBadDatum, ndims)
+	}
+	paylen := binary.LittleEndian.Uint64(src[8:])
+	hdr := flatHeaderSize(ndims)
+	if len(src) < hdr {
+		return nil, ErrTruncated
+	}
+	if ndims > 0 {
+		d.Dims = make([]uint64, ndims)
+		for i := range d.Dims {
+			d.Dims[i] = binary.LittleEndian.Uint64(src[16+8*i:])
+		}
+	}
+	if uint64(len(src)-hdr) < paylen {
+		return nil, ErrTruncated
+	}
+	d.Payload = src[hdr : hdr+int(paylen) : hdr+int(paylen)]
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,49 @@
+package serial
+
+import "fmt"
+
+// rawCodec is "serialization completely disabled": the payload bytes are
+// stored verbatim with no header at all. Type and dimensions must be carried
+// by out-of-band metadata (pMEMCPY's key-value entries do exactly that), so
+// Decode requires a hint. This is the closest analogue to a literal memcpy
+// and the cheapest configuration in the serializer ablation.
+type rawCodec struct{}
+
+func init() { Register(rawCodec{}) }
+
+func (rawCodec) Name() string                    { return "raw" }
+func (rawCodec) SelfDescribing() bool            { return false }
+func (rawCodec) CostProfile() (float64, float64) { return 0.60, 0.60 }
+
+func (rawCodec) EncodedSize(d *Datum) int { return len(d.Payload) }
+
+func (rawCodec) EncodeTo(dst []byte, d *Datum) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if len(dst) < len(d.Payload) {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(d.Payload), len(dst))
+	}
+	return copy(dst, d.Payload), nil
+}
+
+func (rawCodec) Decode(src []byte, hint *Datum) (*Datum, error) {
+	if hint == nil || !hint.Type.Valid() {
+		return nil, fmt.Errorf("%w: raw codec requires a type hint", ErrBadDatum)
+	}
+	d := &Datum{Type: hint.Type, Payload: src}
+	if hint.Dims != nil {
+		d.Dims = append([]uint64(nil), hint.Dims...)
+	}
+	if d.Type.Fixed() {
+		want := d.Elems() * uint64(d.Type.Size())
+		if uint64(len(src)) < want {
+			return nil, ErrTruncated
+		}
+		d.Payload = src[:want:want]
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,278 @@
+package serial
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// particle exercises every supported field kind, including the two things
+// the paper says HDF5 compound types cannot do: nested compound types and
+// dynamically sized arrays.
+type vec3 struct {
+	X, Y, Z float64
+}
+
+type particle struct {
+	ID       uint64
+	Label    string
+	Mass     float64
+	Charge   float32
+	Alive    bool
+	Pos      vec3      // nested compound type
+	History  []vec3    // dynamically sized array of compound type
+	Energies []float64 // dynamically sized numeric array (bulk path)
+	Flags    [4]uint8  // fixed array
+	Rank     int32
+	Tag      int16
+	Sign     int8
+}
+
+func sampleParticle() particle {
+	return particle{
+		ID:       42,
+		Label:    "tracer-α",
+		Mass:     1.6726e-27,
+		Charge:   1.0,
+		Alive:    true,
+		Pos:      vec3{1.5, -2.25, 3.75},
+		History:  []vec3{{0, 0, 0}, {1, 1, 1}, {2, 4, 8}},
+		Energies: []float64{0.5, 1.25, math.Pi, -9.75},
+		Flags:    [4]uint8{1, 2, 3, 4},
+		Rank:     -7,
+		Tag:      -300,
+		Sign:     -1,
+	}
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	in := sampleParticle()
+	raw, err := MarshalStruct(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out particle
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestStructValueArgument(t *testing.T) {
+	in := vec3{1, 2, 3}
+	raw, err := MarshalStruct(in) // by value, not pointer
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out vec3
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestStructRejectsNonStruct(t *testing.T) {
+	if _, err := MarshalStruct(42); err == nil {
+		t.Error("MarshalStruct(int) accepted")
+	}
+	if _, err := MarshalStruct((*vec3)(nil)); err == nil {
+		t.Error("MarshalStruct(nil ptr) accepted")
+	}
+	raw, err := MarshalStruct(vec3{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v vec3
+	if err := UnmarshalStruct(raw, v); err == nil {
+		t.Error("UnmarshalStruct(non-pointer) accepted")
+	}
+	var i int
+	if err := UnmarshalStruct(raw, &i); err == nil {
+		t.Error("UnmarshalStruct(*int) accepted")
+	}
+}
+
+func TestStructSchemaEvolutionSkipsUnknownFields(t *testing.T) {
+	type v2 struct {
+		A int64
+		B string
+		C []float64 // bulk-encoded field the old reader doesn't know
+		D vec3      // nested field the old reader doesn't know
+		E int32
+	}
+	type v1 struct {
+		A int64
+		E int32
+	}
+	in := v2{A: 7, B: "hello", C: []float64{1, 2, 3}, D: vec3{9, 9, 9}, E: -5}
+	raw, err := MarshalStruct(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out v1
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != 7 || out.E != -5 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStructMissingFieldsKeepValues(t *testing.T) {
+	type small struct{ A int64 }
+	type big struct {
+		A int64
+		B string
+	}
+	raw, err := MarshalStruct(&small{A: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := big{B: "preserved"}
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != 1 || out.B != "preserved" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStructUnexportedFieldsSkipped(t *testing.T) {
+	type mixed struct {
+		Public  int64
+		private string
+	}
+	in := mixed{Public: 9, private: "hidden"}
+	raw, err := MarshalStruct(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out mixed
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Public != 9 || out.private != "" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStructTypeMismatchRejected(t *testing.T) {
+	type a struct{ F float64 }
+	type b struct{ F string }
+	raw, err := MarshalStruct(&a{F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out b
+	if err := UnmarshalStruct(raw, &out); err == nil {
+		t.Error("float64 decoded into string field")
+	}
+}
+
+func TestStructTruncatedDataRejected(t *testing.T) {
+	raw, err := MarshalStruct(sampleParticle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(raw) / 2, len(raw) - 1} {
+		var out particle
+		if err := UnmarshalStruct(raw[:cut], &out); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestStructEmptyCollections(t *testing.T) {
+	type c struct {
+		S []float64
+		T []vec3
+		N string
+	}
+	raw, err := MarshalStruct(&c{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out c
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 0 || len(out.T) != 0 || out.N != "" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStructDeepNesting(t *testing.T) {
+	type level3 struct{ V int64 }
+	type level2 struct {
+		L []level3
+	}
+	type level1 struct {
+		L []level2
+	}
+	in := level1{L: []level2{{L: []level3{{1}, {2}}}, {L: []level3{{3}}}}}
+	raw, err := MarshalStruct(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out level1
+	if err := UnmarshalStruct(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("deep nesting mismatch: %+v", out)
+	}
+}
+
+// Property: random scalar/slice/string content round-trips bit-exactly.
+func TestQuickStructRoundTrip(t *testing.T) {
+	type payload struct {
+		A int64
+		B uint32
+		C float64
+		D string
+		E []float64
+		F []int32
+		G bool
+		H int8
+	}
+	f := func(a int64, b uint32, c float64, d string, e []float64, g bool, h int8, fRaw []int32) bool {
+		in := payload{A: a, B: b, C: c, D: d, E: e, F: fRaw, G: g, H: h}
+		raw, err := MarshalStruct(&in)
+		if err != nil {
+			return false
+		}
+		var out payload
+		if err := UnmarshalStruct(raw, &out); err != nil {
+			return false
+		}
+		// NaN-tolerant compare for the float payloads.
+		if math.IsNaN(in.C) != math.IsNaN(out.C) {
+			return false
+		}
+		if !math.IsNaN(in.C) && in.C != out.C {
+			return false
+		}
+		if len(in.E) != len(out.E) || len(in.F) != len(out.F) {
+			return false
+		}
+		for i := range in.E {
+			if math.Float64bits(in.E[i]) != math.Float64bits(out.E[i]) {
+				return false
+			}
+		}
+		for i := range in.F {
+			if in.F[i] != out.F[i] {
+				return false
+			}
+		}
+		return in.A == out.A && in.B == out.B && in.D == out.D && in.G == out.G && in.H == out.H
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
