@@ -1,0 +1,40 @@
+# Build and verification entry points. `make tier1` is the minimum gate;
+# `make race` is required for any change touching internal/pmdk or the
+# parallel copy engine in internal/core.
+
+GO ?= go
+
+.PHONY: all build test tier1 race fuzz bench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+tier1: build test
+
+# Full suite under the race detector. The concurrency stress tests
+# (internal/pmdk/concurrent_test.go, internal/core/concurrent_test.go) only
+# have teeth with -race, so this target is part of the review checklist for
+# allocator or copy-engine changes.
+race:
+	$(GO) test -race ./...
+
+# Short real fuzzing runs for every fuzz target. The seed corpora also run
+# as part of `make test`; this target additionally mutates for a few
+# seconds per target.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeBlockList -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeValueRef -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=$(FUZZTIME) ./internal/serial/
+	$(GO) test -run=NONE -fuzz=FuzzCodecRoundTrip -fuzztime=$(FUZZTIME) ./internal/serial/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

@@ -202,6 +202,28 @@ func BenchmarkAblationChunked(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelWrite is experiment E12: the sharded copy-engine sweep.
+// The paper scales write throughput by adding processes; this sweep holds the
+// process count fixed and adds per-rank copy workers instead, so the same
+// device-bandwidth ceiling is approached from within a single rank.
+func BenchmarkParallelWrite(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d/procs=8", par), func(b *testing.B) {
+			p := benchParams(8)
+			p.Parallelism = par
+			var res harness.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = harness.Run(core.Library{}, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPhases(b, res, "write")
+		})
+	}
+}
+
 // BenchmarkAblationFill is the NC_NOFILL ablation the paper mentions in its
 // methodology ("we make sure to call nc_def_var_fill() with NC_NOFILL ...
 // which causes significant overhead for write workloads").

@@ -41,7 +41,8 @@ func main() {
 		vars      = flag.Int("vars", 10, "number of 3-D rectangles")
 		runs      = flag.Int("runs", 1, "repetitions to average (the paper: 3)")
 		verify    = flag.Bool("verify", false, "verify every byte read back")
-		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked")
+		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel")
+		parallel  = flag.Int("parallel", 0, "per-rank copy workers for the pMEMCPY libraries (<=1: serial)")
 		pattern   = flag.String("pattern", "same", "read access pattern: same | restart | plane")
 		readprocs = flag.Int("readprocs", 0, "reader count for the restart pattern (0 = same as writers)")
 		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
@@ -61,13 +62,14 @@ func main() {
 		fatal(err)
 	}
 	base := harness.Params{
-		TotalBytes: int64(*size / scale),
-		Vars:       *vars,
-		Config:     sim.DefaultConfig().Scale(scale),
-		Verify:     *verify,
-		Runs:       *runs,
-		Pattern:    pat,
-		ReadRanks:  *readprocs,
+		TotalBytes:  int64(*size / scale),
+		Vars:        *vars,
+		Config:      sim.DefaultConfig().Scale(scale),
+		Verify:      *verify,
+		Runs:        *runs,
+		Pattern:     pat,
+		ReadRanks:   *readprocs,
+		Parallelism: *parallel,
 	}
 	fmt.Printf("pmembench: modelled %.1f GB across %d rectangles, profile scale %.0fx (physical %.0f MB)\n\n",
 		*size/1e9, *vars, scale, float64(base.TotalBytes)/1e6)
@@ -181,6 +183,12 @@ func runAblation(name string, rankCounts []int, base harness.Params) ([]harness.
 			named{core.Library{Codec: "flat"}, "flat"},
 			named{core.Library{Codec: "cbin"}, "cbin"},
 			named{core.Library{Codec: "raw"}, "raw"},
+		}
+	case "parallel":
+		// The copy-engine sweep: the paper's procs sweep reproduced as a
+		// per-rank worker sweep (run with a fixed -procs, e.g. -procs 8).
+		for _, k := range []int{1, 2, 4, 8, 16, 32, 48} {
+			libs = append(libs, named{core.Library{Parallelism: k}, fmt.Sprintf("par=%d", k)})
 		}
 	case "fill":
 		libs = []pio.Library{

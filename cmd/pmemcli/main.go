@@ -29,6 +29,7 @@ func main() {
 		codec      = flag.String("codec", "", "serializer: bp4 (default), flat, cbin, raw")
 		dump       = flag.String("dump", "", "hex-dump the first bytes of this id's data")
 		ranks      = flag.Int("ranks", 4, "parallel ranks populating the store")
+		parallel   = flag.Int("parallel", 0, "per-rank copy workers for large stores (<=1: serial)")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 	}
 
 	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
-	opts := &pmemcpy.Options{Layout: layout, Codec: *codec}
+	opts := &pmemcpy.Options{Layout: layout, Codec: *codec, Parallelism: *parallel}
 
 	// Populate: a small 3-D decomposition plus scalars, in parallel.
 	_, err := pmemcpy.Run(n, *ranks, func(c *pmemcpy.Comm) error {
@@ -113,6 +114,8 @@ func main() {
 		}
 		fmt.Printf("\nPOOL STATS: keys=%d heap-used=%d B allocs=%d frees=%d txs=%d aborts=%d recovered=%d\n",
 			st.Keys, st.HeapUsed, st.Allocs, st.Frees, st.Transactions, st.Aborts, st.Recovered)
+		fmt.Printf("CONCURRENCY: arenas=%d arena-steals=%d parallelism=%d parallel-stores=%d parallel-blocks=%d\n",
+			st.Arenas, st.ArenaSteals, st.Parallelism, st.ParallelStores, st.ParallelBlocks)
 
 		if *dump != "" {
 			vals := make([]float64, 8)

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pmemcpy/internal/core"
+	"pmemcpy/internal/mpi"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/serial"
+	"pmemcpy/internal/sim"
+)
+
+// TestConcurrentStoreLoadDeleteModel runs M ranks hammering K shared
+// variables with mixed StoreDatum/LoadDatum/Delete traffic and checks every
+// observation against an in-memory model. Each variable has a model mutex
+// held across the PMEM operation and the model update, so the model is a
+// linearization witness: any mismatch means the store lost, duplicated, or
+// tore an update. Payloads straddle the parallel-store threshold with the
+// identity codec, so the sharded copy engine, the striped allocator, and the
+// metadata hashtable all run concurrently. Run under -race this is the
+// concurrency gate for the whole stack.
+func TestConcurrentStoreLoadDeleteModel(t *testing.T) {
+	const (
+		ranks   = 6
+		nvars   = 4
+		opsEach = 40
+	)
+	n := node.New(sim.DefaultConfig(), 256<<20)
+	n.Machine.SetConcurrency(ranks)
+	opts := &core.Options{Codec: "raw", Parallelism: 4}
+
+	var (
+		modelMu  [nvars]sync.Mutex
+		modelVal [nvars][]byte // nil = absent
+	)
+	varName := func(v int) string { return fmt.Sprintf("shared/v%d", v) }
+
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		p, err := core.Mmap(c, n, "/stress.pool", opts)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(c.Rank()*7919 + 13)))
+		payload := func() []byte {
+			// Mostly small, sometimes past the 256 KB parallel threshold.
+			size := 64 + rng.Intn(4096)
+			if rng.Intn(8) == 0 {
+				size = (256 << 10) + rng.Intn(64<<10)
+			}
+			b := make([]byte, size)
+			rng.Read(b)
+			return b
+		}
+		for op := 0; op < opsEach; op++ {
+			v := rng.Intn(nvars)
+			id := varName(v)
+			modelMu[v].Lock()
+			switch rng.Intn(4) {
+			case 0, 1: // store
+				val := payload()
+				err := p.StoreDatum(id, &serial.Datum{Type: serial.Bytes, Payload: val})
+				if err == nil {
+					modelVal[v] = val
+				}
+				modelMu[v].Unlock()
+				if err != nil {
+					return fmt.Errorf("rank %d store %s: %w", c.Rank(), id, err)
+				}
+			case 2: // load and compare against the model
+				d, err := p.LoadDatum(id)
+				want := modelVal[v]
+				modelMu[v].Unlock()
+				if want == nil {
+					if err == nil {
+						return fmt.Errorf("rank %d: load %s returned data for deleted variable", c.Rank(), id)
+					}
+				} else {
+					if err != nil {
+						return fmt.Errorf("rank %d load %s: %w", c.Rank(), id, err)
+					}
+					if !bytes.Equal(d.Payload, want) {
+						return fmt.Errorf("rank %d: %s read %d bytes != model %d bytes",
+							c.Rank(), id, len(d.Payload), len(want))
+					}
+				}
+			default: // delete
+				existed, err := p.Delete(id)
+				if err == nil && existed != (modelVal[v] != nil) {
+					err = fmt.Errorf("delete existed=%v but model says %v", existed, modelVal[v] != nil)
+				}
+				if err == nil {
+					modelVal[v] = nil
+				}
+				modelMu[v].Unlock()
+				if err != nil {
+					return fmt.Errorf("rank %d delete %s: %w", c.Rank(), id, err)
+				}
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Final audit on rank 0: the store must match the model exactly.
+		if c.Rank() == 0 {
+			for v := 0; v < nvars; v++ {
+				d, err := p.LoadDatum(varName(v))
+				if modelVal[v] == nil {
+					if err == nil {
+						return fmt.Errorf("final: %s present but model says deleted", varName(v))
+					}
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("final: load %s: %w", varName(v), err)
+				}
+				if !bytes.Equal(d.Payload, modelVal[v]) {
+					return fmt.Errorf("final: %s mismatches model", varName(v))
+				}
+			}
+			st, err := p.Stats()
+			if err != nil {
+				return err
+			}
+			if st.Parallelism != 4 {
+				return fmt.Errorf("stats parallelism = %d, want 4", st.Parallelism)
+			}
+			t.Logf("stats: %+v", st)
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

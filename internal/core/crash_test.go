@@ -173,3 +173,132 @@ func TestCrashDuringAlloc(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashMatrixParallelStore extends the overwrite sweep to the sharded
+// copy engine: a payload above the parallel threshold is overwritten with
+// Parallelism workers, the power fails after every possible persist point
+// under each crash adversary, and the recovered variable must read back as
+// entirely old or entirely new data. A torn mix — some shards new, some old,
+// or a block list pointing at half a batch — would mean the single-publish
+// protocol (one transaction allocates all shards, one putValue links them)
+// is broken. The serial rows pin the same matrix on the non-sharded path.
+func TestCrashMatrixParallelStore(t *testing.T) {
+	const elems = 32768 // 256 KB payload: exactly the parallel-path threshold
+	makeVals := func(v float64) []float64 {
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = v
+		}
+		return vals
+	}
+	cases := []struct {
+		name string
+		par  int
+		mode pmem.CrashMode
+	}{
+		{"serial/loseall", 1, pmem.CrashLoseAll},
+		{"serial/keepall", 1, pmem.CrashKeepAll},
+		{"serial/random", 1, pmem.CrashRandom},
+		{"parallel/loseall", 4, pmem.CrashLoseAll},
+		{"parallel/keepall", 4, pmem.CrashKeepAll},
+		{"parallel/random", 4, pmem.CrashRandom},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4242))
+			opts := func() *core.Options { return &core.Options{Parallelism: tc.par} }
+			for k := int64(0); ; k++ {
+				n := node.New(sim.DefaultConfig(), 32<<20,
+					node.WithDeviceOptions(pmem.WithCrashTracking()))
+				n.Machine.SetConcurrency(1)
+
+				// Committed baseline: A = all 1s.
+				_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+					p, err := core.Mmap(c, n, "/m.pool", opts())
+					if err != nil {
+						return err
+					}
+					if err := p.Alloc("A", serial.Float64, []uint64{elems}); err != nil {
+						return err
+					}
+					if err := p.StoreBlock("A", []uint64{0}, []uint64{elems},
+						bytesview.Bytes(makeVals(1))); err != nil {
+						return err
+					}
+					if tc.par > 1 {
+						st, err := p.Stats()
+						if err != nil {
+							return err
+						}
+						if st.ParallelStores == 0 {
+							t.Fatalf("k=%d: store took the serial path despite Parallelism=%d", k, tc.par)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Injected overwrite: A = all 2s, power failing after k persists.
+				var completed bool
+				_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+					p, err := core.Mmap(c, n, "/m.pool", opts())
+					if err != nil {
+						return err
+					}
+					n.Device.FailAfterPersists(k)
+					serr := p.StoreBlock("A", []uint64{0}, []uint64{elems},
+						bytesview.Bytes(makeVals(2)))
+					completed = serr == nil
+					if serr != nil && !errors.Is(serr, pmem.ErrFailed) {
+						t.Errorf("k=%d: unexpected store error: %v", k, serr)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				n.Device.Crash(tc.mode, rng)
+
+				// Recover and check all-or-nothing visibility.
+				_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+					p, err := core.Mmap(c, n, "/m.pool", opts())
+					if err != nil {
+						return err
+					}
+					dst := make([]byte, elems*8)
+					if err := p.LoadBlock("A", []uint64{0}, []uint64{elems}, dst); err != nil {
+						return err
+					}
+					vals := bytesview.OfCopy[float64](dst)
+					first := vals[0]
+					if first != 1 && first != 2 {
+						t.Errorf("k=%d: A[0] = %g, want 1 or 2", k, first)
+					}
+					for i, v := range vals {
+						if v != first {
+							t.Errorf("k=%d: torn overwrite: A[0]=%g but A[%d]=%g", k, first, i, v)
+							break
+						}
+					}
+					if completed && first != 2 {
+						t.Errorf("k=%d: committed overwrite lost (A = all %g)", k, first)
+					}
+					return p.Munmap()
+				})
+				if err != nil {
+					t.Fatalf("k=%d: recovery failed: %v", k, err)
+				}
+
+				if completed {
+					return // swept every crash point for this row
+				}
+				if k > 5000 {
+					t.Fatal("crash matrix sweep did not terminate")
+				}
+			}
+		})
+	}
+}

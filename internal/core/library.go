@@ -23,6 +23,8 @@ type Library struct {
 	PoolSize int64
 	// Staged enables the staging ablation (serialize to DRAM, then copy).
 	Staged bool
+	// Parallelism is the per-rank copy-engine worker count (<=1: serial).
+	Parallelism int
 }
 
 // Name implements pio.Library.
@@ -40,7 +42,14 @@ func (l Library) options() *Options {
 		MapSync:             l.MapSync,
 		PoolSize:            l.PoolSize,
 		StagedSerialization: l.Staged,
+		Parallelism:         l.Parallelism,
 	}
+}
+
+// WithParallelism implements pio.Parallelizable.
+func (l Library) WithParallelism(p int) pio.Library {
+	l.Parallelism = p
+	return l
 }
 
 // OpenWrite implements pio.Library.
@@ -98,9 +107,10 @@ func (s *session) Close() error {
 }
 
 var (
-	_ pio.Writer  = (*session)(nil)
-	_ pio.Reader  = (*session)(nil)
-	_ pio.Library = Library{}
+	_ pio.Writer         = (*session)(nil)
+	_ pio.Reader         = (*session)(nil)
+	_ pio.Library        = Library{}
+	_ pio.Parallelizable = Library{}
 )
 
 // Handle returns the underlying PMEM for callers that need the full API.

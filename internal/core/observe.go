@@ -11,6 +11,15 @@ type StoreStats struct {
 	HeapUsed int64
 	// Allocator/transaction counters (hashtable layout only).
 	Allocs, Frees, Transactions, Aborts, Recovered int64
+	// Arenas is the pool's allocator arena count (hashtable layout only).
+	Arenas int
+	// ArenaSteals counts allocations that fell back to a non-home arena.
+	ArenaSteals int64
+	// Parallelism is the configured copy-engine worker count.
+	Parallelism int
+	// ParallelStores counts stores that took the sharded parallel path;
+	// ParallelBlocks counts the shard blocks those stores wrote.
+	ParallelStores, ParallelBlocks int64
 }
 
 // Stats returns a snapshot of the store's metadata and allocator state.
@@ -19,7 +28,13 @@ func (p *PMEM) Stats() (StoreStats, error) {
 	if err != nil {
 		return StoreStats{}, err
 	}
-	st := StoreStats{Layout: p.st.layout, Keys: len(keys)}
+	st := StoreStats{
+		Layout:         p.st.layout,
+		Keys:           len(keys),
+		Parallelism:    p.st.par,
+		ParallelStores: p.st.parallelStores.Load(),
+		ParallelBlocks: p.st.parallelBlocks.Load(),
+	}
 	if p.st.layout != LayoutHashtable {
 		return st, nil
 	}
@@ -34,5 +49,7 @@ func (p *PMEM) Stats() (StoreStats, error) {
 	st.Transactions = ps.Transactions
 	st.Aborts = ps.Aborts
 	st.Recovered = ps.Recovered
+	st.Arenas = p.st.pool.Arenas()
+	st.ArenaSteals = ps.ArenaSteals
 	return st, nil
 }

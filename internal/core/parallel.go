@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/serial"
+)
+
+// Parallel block-copy engine: a large StoreBlock payload is split along its
+// slowest-varying dimension into per-shard blocks that worker goroutines
+// serialize into PMEM concurrently. All shard blocks are allocated in ONE
+// transaction (amortizing tx begin/commit across blocks, as "Persistent
+// Memory Transactions" prescribes) and published in the variable's block list
+// with ONE metadata update, so a crash anywhere leaves either the whole
+// multi-shard store or none of it — never a torn block list. The crash-matrix
+// tests drive exactly that property.
+//
+// Workers only run the codec's EncodeTo into their shard's mapped slice; the
+// coordinator does every clock charge, capture and persist, keeping virtual
+// time and the crash simulator's persist ordering deterministic regardless of
+// goroutine scheduling.
+
+// parallelMinBytes is the smallest encoded payload worth sharding; below it
+// the per-shard transaction and header overhead outweighs the copy win.
+const parallelMinBytes = 256 << 10
+
+// shard is one worker's slice of a parallel store.
+type shard struct {
+	datum  serial.Datum // dims/payload restricted to this shard's rows
+	offs   []uint64
+	encLen int64 // encoded size, computed before allocation
+	blk    pmdk.PMID
+	wrote  int64
+}
+
+// splitShards cuts the block (offs, counts, payload) into at most want
+// contiguous row ranges along dimension 0. Row-major layout makes each
+// shard's payload a contiguous sub-slice, so workers never overlap.
+func splitShards(d *serial.Datum, offs, counts []uint64, want int) []shard {
+	rows := counts[0]
+	if uint64(want) > rows {
+		want = int(rows)
+	}
+	rowBytes := uint64(len(d.Payload)) / rows
+	shards := make([]shard, 0, want)
+	var start uint64
+	for i := 0; i < want; i++ {
+		n := rows / uint64(want)
+		if uint64(i) < rows%uint64(want) {
+			n++
+		}
+		scounts := append([]uint64(nil), counts...)
+		scounts[0] = n
+		soffs := append([]uint64(nil), offs...)
+		soffs[0] += start
+		shards = append(shards, shard{
+			datum: serial.Datum{
+				Type:    d.Type,
+				Dims:    scounts,
+				Payload: d.Payload[start*rowBytes : (start+n)*rowBytes],
+			},
+			offs: soffs,
+		})
+		start += n
+	}
+	return shards
+}
+
+// parallelEligible reports whether a store of encSize encoded bytes should
+// take the parallel path.
+func (p *PMEM) parallelEligible(counts []uint64, encSize int64) bool {
+	return p.st.par > 1 &&
+		!p.st.staged && // staging ablation models the serial related work
+		p.st.layout == LayoutHashtable &&
+		encSize >= parallelMinBytes &&
+		len(counts) > 0 && counts[0] > 1
+}
+
+// storeBlockParallel is StoreBlock's sharded write path.
+func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint64, d *serial.Datum) error {
+	clk := p.comm.Clock()
+	encPasses, _ := p.codec.CostProfile()
+	shards := splitShards(d, offs, counts, p.st.par)
+	for i := range shards {
+		shards[i].encLen = int64(p.codec.EncodedSize(&shards[i].datum))
+	}
+
+	// 1. One batched transaction allocates every shard's block.
+	tx, err := p.st.pool.Begin(clk)
+	if err != nil {
+		return err
+	}
+	for i := range shards {
+		blk, err := p.st.pool.Alloc(tx, shards[i].encLen)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		shards[i].blk = blk
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// 2. Capture every destination range up front (the crash simulator's
+	// pre-images), then let workers serialize concurrently. Workers touch
+	// neither the clock nor the device bookkeeping — the coordinator charges
+	// the analytic parallel cost and persists after the join, so a crash
+	// point lands before or after the whole copy wave deterministically.
+	dsts := make([][]byte, len(shards))
+	for i := range shards {
+		dst, err := p.st.pool.Slice(shards[i].blk, shards[i].encLen)
+		if err != nil {
+			return err
+		}
+		if err := p.st.pool.Mapping().Capture(int64(shards[i].blk), shards[i].encLen); err != nil {
+			return err
+		}
+		dsts[i] = dst
+	}
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wrote, err := p.codec.EncodeTo(dsts[i], &shards[i].datum)
+			shards[i].wrote = int64(wrote)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for i := range shards {
+		if errs[i] != nil {
+			// The allocated blocks stay unpublished; like the serial path's
+			// post-commit failures they are garbage a Compact can reclaim,
+			// never dangling pointers.
+			return fmt.Errorf("core: parallel store of %q shard %d: %w", id, i, errs[i])
+		}
+		total += shards[i].wrote
+	}
+	p.chargeParallelStore(total, encPasses, len(shards))
+	for i := range shards {
+		if err := p.st.pool.Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote); err != nil {
+			return err
+		}
+	}
+
+	// 3. Publish all shards with a single block-list update: one hashtable
+	// Put, one transaction, all-or-nothing.
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	blocks, _, err := p.loadBlockList(id)
+	if err != nil {
+		return err
+	}
+	for i := range shards {
+		blocks = append(blocks, blockRec{
+			dtype:  rec.dtype,
+			offs:   shards[i].offs,
+			counts: shards[i].datum.Dims,
+			data:   shards[i].blk,
+			encLen: shards[i].wrote,
+		})
+	}
+	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
+		return err
+	}
+	p.st.parallelStores.Add(1)
+	p.st.parallelBlocks.Add(int64(len(shards)))
+	return nil
+}
+
+// storeDatumParallel is StoreDatum's chunked write path for identity-encoding
+// codecs (raw): the single destination block is cut into byte ranges copied
+// by concurrent workers. Only valid when the codec's encoding is a plain
+// payload copy, since workers write disjoint sub-ranges of one encode.
+func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) error {
+	clk := p.comm.Clock()
+	encPasses, _ := p.codec.CostProfile()
+	need := int64(len(d.Payload)) + 1
+	tx, err := p.st.pool.Begin(clk)
+	if err != nil {
+		return err
+	}
+	blk, err := p.st.pool.Alloc(tx, need)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	dst, err := p.st.pool.Slice(blk, need)
+	if err != nil {
+		return err
+	}
+	if err := p.st.pool.Mapping().Capture(int64(blk), need); err != nil {
+		return err
+	}
+	dst[0] = byte(d.Type)
+	workers := p.st.par
+	if int64(workers) > need-1 {
+		workers = int(need - 1)
+	}
+	chunk := (need - 1 + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * chunk
+		hi := lo + chunk
+		if hi > need-1 {
+			hi = need - 1
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			copy(dst[1+lo:1+hi], d.Payload[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	p.chargeParallelStore(need, encPasses, workers)
+	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need); err != nil {
+		return err
+	}
+	rec := encodeValueRef(blk, need)
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	if err := p.putValue(id, rec); err != nil {
+		return err
+	}
+	p.st.parallelStores.Add(1)
+	p.st.parallelBlocks.Add(int64(workers))
+	return nil
+}

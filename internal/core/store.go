@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"pmemcpy/internal/nd"
 	"pmemcpy/internal/pmdk"
@@ -82,19 +83,26 @@ func (p *PMEM) Delete(id string) (bool, error) {
 	return p.st.ht.Delete(clk, []byte(id))
 }
 
-// Keys lists every stored id (including "#dims" companions), mainly for
-// tooling (pmemcli).
+// Keys lists every stored id (including "#dims" companions) in sorted order,
+// so tooling output (pmemcli, pmemfsck) and tests are deterministic across
+// hashtable bucket layouts.
 func (p *PMEM) Keys() ([]string, error) {
 	clk := p.comm.Clock()
-	if p.st.layout == LayoutHierarchy {
-		return p.st.hier.keys(clk)
-	}
 	var out []string
-	err := p.st.ht.Range(clk, func(key []byte, _ pmdk.PMID, _ int64) bool {
-		out = append(out, string(key))
-		return true
-	})
-	return out, err
+	var err error
+	if p.st.layout == LayoutHierarchy {
+		out, err = p.st.hier.keys(clk)
+	} else {
+		err = p.st.ht.Range(clk, func(key []byte, _ pmdk.PMID, _ int64) bool {
+			out = append(out, string(key))
+			return true
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // --- scalar / whole-value store ---
@@ -114,6 +122,10 @@ func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
 	// describing codecs decode.
 	clk := p.comm.Clock()
 	need := int64(p.codec.EncodedSize(d)) + 1
+	if ie, ok := p.codec.(serial.IdentityEncoder); ok && ie.IdentityEncode() &&
+		p.st.par > 1 && !p.st.staged && need >= parallelMinBytes {
+		return p.storeDatumParallel(id, d)
+	}
 	tx, err := p.st.pool.Begin(clk)
 	if err != nil {
 		return err
@@ -244,6 +256,9 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	encSize := int64(p.codec.EncodedSize(d))
+	if p.parallelEligible(counts, encSize) {
+		return p.storeBlockParallel(id, rec, offs, counts, d)
+	}
 
 	// 1. Allocate the data block (transactional metadata update).
 	tx, err := p.st.pool.Begin(clk)
@@ -395,6 +410,12 @@ func decodeBlockList(raw []byte) ([]blockRec, error) {
 		return nil, fmt.Errorf("core: not a block list")
 	}
 	n := binary.LittleEndian.Uint32(raw[1:])
+	// Each record is at least 18 bytes (2-byte header + two PMIDs), so a
+	// count the buffer cannot possibly hold is corruption; rejecting it here
+	// keeps an attacker-controlled count from sizing the allocation below.
+	if int64(n) > int64(len(raw)-5)/18 {
+		return nil, fmt.Errorf("core: block list truncated")
+	}
 	pos := 5
 	out := make([]blockRec, 0, n)
 	for i := uint32(0); i < n; i++ {
@@ -404,6 +425,9 @@ func decodeBlockList(raw []byte) ([]blockRec, error) {
 		b := blockRec{dtype: serial.DType(raw[pos])}
 		ndims := int(raw[pos+1])
 		pos += 2
+		if ndims > serial.MaxDims {
+			return nil, fmt.Errorf("core: block list rank %d", ndims)
+		}
 		if pos+16*ndims+16 > len(raw) {
 			return nil, fmt.Errorf("core: block list truncated")
 		}

@@ -43,6 +43,9 @@ type Params struct {
 	// ReadRanks overrides the reader count for the restart pattern
 	// (0 = same as Ranks).
 	ReadRanks int
+	// Parallelism asks the library for this many copy workers per rank
+	// (libraries that do not implement pio.Parallelizable ignore it).
+	Parallelism int
 }
 
 // Result is one (library, ranks) measurement.
@@ -65,6 +68,11 @@ func (r Result) String() string {
 func Run(lib pio.Library, p Params) (Result, error) {
 	if p.Runs <= 0 {
 		p.Runs = 1
+	}
+	if p.Parallelism > 1 {
+		if pz, ok := lib.(pio.Parallelizable); ok {
+			lib = pz.WithParallelism(p.Parallelism)
+		}
 	}
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}
 	for i := 0; i < p.Runs; i++ {

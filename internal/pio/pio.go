@@ -68,3 +68,13 @@ type Library interface {
 	// OpenRead starts a collective read session on path.
 	OpenRead(c *mpi.Comm, n *node.Node, path string) (Reader, error)
 }
+
+// Parallelizable is implemented by libraries whose writes can fan out over
+// worker goroutines within one rank (pMEMCPY's sharded copy engine).
+// WithParallelism returns a copy of the library configured to use p workers
+// per rank; p <= 1 restores the serial path. The harness uses it to run the
+// paper's procs sweep as a goroutine sweep.
+type Parallelizable interface {
+	Library
+	WithParallelism(p int) Library
+}

@@ -1,6 +1,8 @@
 package pmdk
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"pmemcpy/internal/sim"
@@ -12,11 +14,45 @@ import (
 // at any point either completes or fully undoes an Alloc/Free — the property
 // the crash tests verify.
 //
-// Metadata layout at Pool.allocOff:
+// The allocator is striped into arenas. Arenas carve fresh blocks from
+// private extents reserved off a shared monotonic brk (first word at
+// Pool.allocOff), so the heap is never statically partitioned: one arena can
+// host a block nearly as large as the whole heap, and space an arena never
+// touches is never stranded. Each arena owns one mutex and one 128-byte
+// metadata block; the metadata blocks are laid out contiguously after the
+// brk word, one per arena:
 //
-//	0:  bump      uint64  next never-used heap offset (pool-relative)
-//	8:  classHead [nSizeClasses]uint64  free-list heads (PMIDs)
-//	56: hugeHead  uint64  free list of huge blocks
+//	0:  bump      uint64  next unused offset inside the current extent
+//	8:  limit     uint64  end of the current extent (bump == limit: empty)
+//	16: classHead [nSizeClasses]uint64  free-list heads (PMIDs)
+//	64: hugeHead  uint64  free list of huge blocks
+//
+// The brk itself is advanced with a plain persisted write, not an undo-logged
+// one: extents may be reserved by concurrent transactions, and pre-imaging
+// the shared word in more than one live undo log would make recovery order
+// ambiguous. The cost of that choice is bounded and benign — a crash between
+// the brk advance and the reserving transaction's commit leaks the extent
+// (the same failure class as an allocated-but-unpublished payload block),
+// but the brk can never double-grant space.
+//
+// Locking protocol (the undo-log invariant is that a shared persistent word
+// is pre-imaged by at most one active transaction, otherwise recovery order
+// is ambiguous):
+//
+//   - A transaction's first Alloc/Free picks a home arena round-robin, takes
+//     its lock, and keeps it until commit/abort. Every later Alloc/Free in
+//     the same transaction uses the same home arena, so a transaction
+//     normally holds exactly one arena lock and there is no lock ordering to
+//     violate.
+//   - If the home arena is exhausted, Alloc falls back to stealing from other
+//     arenas with TryLock only — a transaction never blocks on a second
+//     arena while holding one, which rules out deadlock outright. A stolen
+//     arena the transaction did not end up mutating is released immediately;
+//     a mutated one stays held until commit/abort like the home arena.
+//   - Free always pushes onto the transaction's home arena's free list.
+//     Blocks are self-describing (16-byte header), so free lists may hold
+//     blocks from any arena's region; memory migrates between arenas under
+//     free-heavy workloads instead of requiring cross-arena locking.
 //
 // Every block is preceded by a 16-byte header {size uint64 (total block
 // size including the header), state uint64}. The PMID handed to clients is
@@ -27,7 +63,17 @@ const (
 	minBlock      = 64
 	maxClassBlock = minBlock << (nSizeClasses - 1)
 
-	allocMetaSize = 8 + 8*nSizeClasses + 8
+	// brkMetaSize holds the shared extent brk, padded to one cacheline.
+	brkMetaSize = 64
+
+	// allocMetaSize is the per-arena metadata block: bump + limit + class
+	// heads + huge head, padded to two cachelines so arenas never share one.
+	allocMetaSize = 128
+
+	// Extent sizing bounds for the lazily reserved per-arena bump extents
+	// (the actual default scales with the heap; see newPoolStruct).
+	minExtent = 4 << 10
+	maxExtent = 1 << 20
 
 	blockHeaderSize = 16
 
@@ -35,29 +81,52 @@ const (
 	stateFree  = 0xF4EEB10C00000001
 )
 
-type allocator struct {
-	p       *Pool
-	metaOff int64
+func (a *arena) bumpOff() PMID  { return PMID(a.metaOff) }
+func (a *arena) limitOff() PMID { return PMID(a.metaOff + 8) }
+func (a *arena) classOff(c int) PMID {
+	return PMID(a.metaOff + 16 + 8*int64(c))
+}
+func (a *arena) hugeOff() PMID { return PMID(a.metaOff + 16 + 8*nSizeClasses) }
+
+// initBrk seeds the shared extent brk on a freshly formatted pool (arena
+// metadata is already zeroed: bump == limit == 0 means "no extent yet").
+func (p *Pool) initBrk(clk *sim.Clock) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(p.heapOff))
+	return p.StoreBytes(clk, PMID(p.allocOff), b[:], true)
 }
 
-func (a *allocator) bumpOff() PMID { return PMID(a.metaOff) }
-func (a *allocator) classOff(c int) PMID {
-	return PMID(a.metaOff + 8 + 8*int64(c))
-}
-func (a *allocator) hugeOff() PMID { return PMID(a.metaOff + 8 + 8*nSizeClasses) }
-
-// initFresh sets the bump pointer to the heap start on a newly created pool.
-func (a *allocator) initFresh(clk *sim.Clock) {
-	tx, err := a.p.Begin(clk)
+// reserveExtent claims a fresh [start, limit) slice of the heap off the
+// shared brk. With exact set the extent is sized to the request (huge blocks
+// get dedicated extents, so bump carving never strands a tail comparable to
+// the block itself); otherwise the default extent size is used. See the
+// package comment for why the brk write is persisted but not undo-logged
+// (monotonic, leak-only crash behavior).
+func (p *Pool) reserveExtent(clk *sim.Clock, want int64, exact bool) (start, limit int64, err error) {
+	p.brkMu.Lock()
+	defer p.brkMu.Unlock()
+	raw, err := p.ReadU64(clk, PMID(p.allocOff))
 	if err != nil {
-		panic(err)
+		return 0, 0, err
 	}
-	if err := tx.WriteU64(a.bumpOff(), uint64(a.p.heapOff)); err != nil {
-		panic(err)
+	brk := int64(raw)
+	ext := p.extent
+	if exact || want > ext {
+		ext = alignUp(want, sim.CachelineSize)
 	}
-	if err := tx.Commit(); err != nil {
-		panic(err)
+	if brk+ext > p.heapEnd {
+		ext = p.heapEnd - brk
 	}
+	if ext < want {
+		return 0, 0, fmt.Errorf("%w: heap exhausted (%d of %d used, need %d)",
+			ErrNoSpace, brk-p.heapOff, p.heapEnd-p.heapOff, want)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(brk+ext))
+	if err := p.StoreBytes(clk, PMID(p.allocOff), b[:], true); err != nil {
+		return 0, 0, err
+	}
+	return brk, brk + ext, nil
 }
 
 // classFor returns the size-class index whose block fits a payload of n
@@ -84,16 +153,17 @@ func hugeBlockSize(n int64) int64 {
 	return alignUp(n+blockHeaderSize, sim.CachelineSize)
 }
 
-// header reads a block header given its payload PMID.
-func (a *allocator) header(clk *sim.Clock, id PMID) (size int64, state uint64, err error) {
-	if id < PMID(a.p.heapOff)+blockHeaderSize || int64(id) >= a.p.heapEnd {
+// blockHeader reads a block header given its payload PMID. Blocks may live
+// anywhere in the heap regardless of which arena's list tracks them.
+func (p *Pool) blockHeader(clk *sim.Clock, id PMID) (size int64, state uint64, err error) {
+	if id < PMID(p.heapOff)+blockHeaderSize || int64(id) >= p.heapEnd {
 		return 0, 0, fmt.Errorf("%w: %d outside heap", ErrBadPointer, id)
 	}
-	s, err := a.p.ReadU64(clk, id-blockHeaderSize)
+	s, err := p.ReadU64(clk, id-blockHeaderSize)
 	if err != nil {
 		return 0, 0, err
 	}
-	st, err := a.p.ReadU64(clk, id-8)
+	st, err := p.ReadU64(clk, id-8)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -102,21 +172,140 @@ func (a *allocator) header(clk *sim.Clock, id PMID) (size int64, state uint64, e
 
 // Alloc allocates a payload of n bytes inside tx and returns its PMID. The
 // payload contents are undefined (PMDK semantics; callers zero or overwrite).
+//
+// Placement policy: reuse a free block from the home arena, else from any
+// other arena whose free-count hint is positive (freed blocks migrate
+// between arenas, so reuse must look everywhere before growing the heap),
+// else carve fresh space from the home arena's bump region, else carve from
+// whichever other arena has room. Every foreign-arena step uses TryLock
+// only — a transaction never blocks on a second arena lock while holding
+// one, which rules out deadlock outright.
 func (p *Pool) Alloc(tx *Tx, n int64) (PMID, error) {
 	if n <= 0 {
 		return Null, fmt.Errorf("pmdk: Alloc size must be positive, got %d", n)
 	}
-	return p.alloc.alloc(tx, n)
+	home := tx.homeArena()
+	id, ok, err := p.reuseIn(tx, home, n)
+	if err != nil {
+		return Null, err
+	}
+	if ok {
+		return id, nil
+	}
+	for i := range p.arenas {
+		a := &p.arenas[i]
+		if a == home || a.freeHint.Load() <= 0 {
+			continue
+		}
+		id, ok, err := p.foreignArena(tx, a, n, p.reuseIn)
+		if err != nil {
+			return Null, err
+		}
+		if ok {
+			return id, nil
+		}
+	}
+	id, err = p.carveIn(tx, home, n)
+	if err == nil || !errors.Is(err, ErrNoSpace) {
+		return id, err
+	}
+	// Home arena exhausted: carve from any other arena we can lock without
+	// blocking.
+	for i := range p.arenas {
+		a := &p.arenas[i]
+		if a == home {
+			continue
+		}
+		id, ok, err2 := p.foreignArena(tx, a, n, func(tx *Tx, a *arena, n int64) (PMID, bool, error) {
+			id, err := p.carveIn(tx, a, n)
+			if err == nil {
+				return id, true, nil
+			}
+			if errors.Is(err, ErrNoSpace) {
+				return Null, false, nil
+			}
+			return Null, false, err
+		})
+		if err2 != nil {
+			return Null, err2
+		}
+		if ok {
+			return id, nil
+		}
+	}
+	return Null, err
 }
 
-// Free returns the block holding id to the allocator inside tx.
+// foreignArena runs try against an arena the transaction does not own as its
+// home, acquiring the lock with TryLock when needed and releasing it again
+// if the attempt made no logged mutation there.
+func (p *Pool) foreignArena(tx *Tx, a *arena, n int64,
+	try func(*Tx, *arena, int64) (PMID, bool, error)) (PMID, bool, error) {
+	held := tx.holdsArena(a)
+	if !held {
+		if !a.mu.TryLock() {
+			return Null, false, nil
+		}
+		tx.holdArena(a)
+	}
+	id, ok, err := try(tx, a, n)
+	if err != nil {
+		return Null, false, err
+	}
+	if ok {
+		p.stats.arenaSteals.Add(1)
+		return id, true, nil
+	}
+	if !held {
+		tx.releaseArenaIfClean(a)
+	}
+	return Null, false, nil
+}
+
+// Free returns the block holding id to the allocator inside tx. The block is
+// pushed onto the transaction's home arena's free list regardless of where it
+// was carved.
 func (p *Pool) Free(tx *Tx, id PMID) error {
-	return p.alloc.free(tx, id)
+	a := tx.homeArena()
+	size, state, err := p.blockHeader(tx.clk, id)
+	if err != nil {
+		return err
+	}
+	if state != stateAlloc {
+		return fmt.Errorf("%w: Free of %d in state %#x (double free?)", ErrBadPointer, id, state)
+	}
+	var listOff PMID
+	if size <= maxClassBlock && size >= minBlock && size&(size-1) == 0 {
+		c := 0
+		for blockSizeOf(c) != size {
+			c++
+		}
+		listOff = a.classOff(c)
+	} else {
+		listOff = a.hugeOff()
+	}
+	head, err := p.ReadU64(tx.clk, listOff)
+	if err != nil {
+		return err
+	}
+	tx.markArenaDirty(a)
+	if err := tx.WriteU64(id-8, stateFree); err != nil {
+		return err
+	}
+	if err := tx.WriteU64(id, head); err != nil {
+		return err
+	}
+	if err := tx.WriteU64(listOff, uint64(id)); err != nil {
+		return err
+	}
+	a.freeHint.Add(1)
+	p.stats.frees.Add(1)
+	return nil
 }
 
 // UsableSize returns the payload capacity of the block holding id.
 func (p *Pool) UsableSize(clk *sim.Clock, id PMID) (int64, error) {
-	size, state, err := p.alloc.header(clk, id)
+	size, state, err := p.blockHeader(clk, id)
 	if err != nil {
 		return 0, err
 	}
@@ -126,52 +315,82 @@ func (p *Pool) UsableSize(clk *sim.Clock, id PMID) (int64, error) {
 	return size - blockHeaderSize, nil
 }
 
-func (a *allocator) alloc(tx *Tx, n int64) (PMID, error) {
-	tx.lockAllocator()
+// reuseIn tries to satisfy an allocation from the free lists of one arena
+// whose lock tx holds. ok=false means no fit; the arena's metadata is not
+// mutated in that case.
+func (p *Pool) reuseIn(tx *Tx, a *arena, n int64) (PMID, bool, error) {
 	clk := tx.clk
-	c := classFor(n)
-	if c >= 0 {
-		head, err := a.p.ReadU64(clk, a.classOff(c))
+	want := hugeBlockSize(n)
+	if c := classFor(n); c >= 0 {
+		head, err := p.ReadU64(clk, a.classOff(c))
 		if err != nil {
-			return Null, err
+			return Null, false, err
 		}
 		if head != 0 {
-			return a.popFree(tx, a.classOff(c), PMID(head))
+			id, err := p.popFree(tx, a, a.classOff(c), PMID(head))
+			if err != nil {
+				return Null, false, err
+			}
+			return id, true, nil
 		}
-		return a.carve(tx, blockSizeOf(c))
+		// Class list empty: fall through to the huge list and split a
+		// class-sized block off a larger free one (retired extent tails and
+		// returned extents land there, so this is what keeps small allocs
+		// reusing them before the heap grows).
+		want = blockSizeOf(c)
 	}
-	// Huge path: first-fit scan of the huge free list.
-	want := hugeBlockSize(n)
+	// First-fit scan of the arena's huge free list.
 	prev := a.hugeOff()
-	cur, err := a.p.ReadU64(clk, prev)
+	cur, err := p.ReadU64(clk, prev)
 	if err != nil {
-		return Null, err
+		return Null, false, err
 	}
 	for cur != 0 {
 		id := PMID(cur)
-		size, state, err := a.header(clk, id)
+		size, state, err := p.blockHeader(clk, id)
 		if err != nil {
-			return Null, err
+			return Null, false, err
 		}
 		if state != stateFree {
-			return Null, fmt.Errorf("%w: huge free list entry %d in state %#x", ErrCorrupt, id, state)
+			return Null, false, fmt.Errorf("%w: huge free list entry %d in state %#x", ErrCorrupt, id, state)
 		}
 		if size >= want {
-			return a.takeHuge(tx, prev, id, size, want)
+			got, err := p.takeHuge(tx, a, prev, id, size, want)
+			if err != nil {
+				return Null, false, err
+			}
+			return got, true, nil
 		}
 		prev = id // next pointer lives in the first payload word
-		cur, err = a.p.ReadU64(clk, id)
+		cur, err = p.ReadU64(clk, id)
 		if err != nil {
-			return Null, err
+			return Null, false, err
 		}
 	}
-	return a.carve(tx, want)
+	return Null, false, nil
+}
+
+// carveIn takes a fresh block for an n-byte payload from one arena whose
+// lock tx holds.
+func (p *Pool) carveIn(tx *Tx, a *arena, n int64) (PMID, error) {
+	if c := classFor(n); c >= 0 {
+		return p.carve(tx, a, blockSizeOf(c))
+	}
+	return p.carve(tx, a, hugeBlockSize(n))
 }
 
 // popFree removes the head block of a free list and marks it allocated.
-func (a *allocator) popFree(tx *Tx, listOff, id PMID) (PMID, error) {
-	next, err := a.p.ReadU64(tx.clk, id)
+func (p *Pool) popFree(tx *Tx, a *arena, listOff, id PMID) (PMID, error) {
+	next, err := p.ReadU64(tx.clk, id)
 	if err != nil {
+		return Null, err
+	}
+	tx.markArenaDirty(a)
+	// Pre-image the block's first payload word: it holds the free-list next
+	// pointer, and the caller will overwrite it with payload bytes outside
+	// the transaction. Without this entry, rolling back the pop would
+	// restore the list head to a block whose next pointer is garbage.
+	if err := tx.Add(id, 8); err != nil {
 		return Null, err
 	}
 	if err := tx.WriteU64(listOff, next); err != nil {
@@ -180,15 +399,22 @@ func (a *allocator) popFree(tx *Tx, listOff, id PMID) (PMID, error) {
 	if err := tx.WriteU64(id-8, stateAlloc); err != nil {
 		return Null, err
 	}
-	a.p.bumpStat(func(s *Stats) { s.Allocs++ })
+	a.freeHint.Add(-1)
+	p.stats.allocs.Add(1)
 	return id, nil
 }
 
 // takeHuge unlinks a huge free block, splitting off the tail if it is large
 // enough to hold another block.
-func (a *allocator) takeHuge(tx *Tx, prev, id PMID, size, want int64) (PMID, error) {
-	next, err := a.p.ReadU64(tx.clk, id)
+func (p *Pool) takeHuge(tx *Tx, a *arena, prev, id PMID, size, want int64) (PMID, error) {
+	next, err := p.ReadU64(tx.clk, id)
 	if err != nil {
+		return Null, err
+	}
+	tx.markArenaDirty(a)
+	// Pre-image the next pointer in the block's first payload word before
+	// the caller's payload writes clobber it (see popFree).
+	if err := tx.Add(id, 8); err != nil {
 		return Null, err
 	}
 	remainder := size - want
@@ -211,62 +437,134 @@ func (a *allocator) takeHuge(tx *Tx, prev, id PMID, size, want int64) (PMID, err
 			return Null, err
 		}
 	} else {
+		// No split: the list loses a block.
 		if err := tx.WriteU64(prev, next); err != nil {
 			return Null, err
 		}
+		a.freeHint.Add(-1)
 	}
 	if err := tx.WriteU64(id-8, stateAlloc); err != nil {
 		return Null, err
 	}
-	a.p.bumpStat(func(s *Stats) { s.Allocs++ })
+	p.stats.allocs.Add(1)
 	return id, nil
 }
 
-// carve takes a fresh block of blockSize bytes from the bump region.
-func (a *allocator) carve(tx *Tx, blockSize int64) (PMID, error) {
-	bump, err := a.p.ReadU64(tx.clk, a.bumpOff())
+// carve takes a fresh block of blockSize bytes from the arena's current bump
+// extent, reserving a new extent off the shared brk when the current one is
+// too small. Huge blocks bypass the bump extent entirely and get a dedicated
+// exact-size extent — mixing them into shared extents would strand tails
+// comparable to the blocks themselves (the sharded copy engine allocates
+// streams of same-sized huge shards, so that waste compounds to a fixed
+// fraction of the heap). The arena's bump/limit updates are undo-logged as
+// usual; only the brk advance inside reserveExtent is not (see the package
+// comment).
+func (p *Pool) carve(tx *Tx, a *arena, blockSize int64) (PMID, error) {
+	clk := tx.clk
+	if blockSize > maxClassBlock {
+		start, limit, err := p.reserveExtent(clk, blockSize, true)
+		if err != nil {
+			return Null, err
+		}
+		tx.extents = append(tx.extents, reservedExtent{a: a, start: start, limit: limit})
+		tx.markArenaDirty(a)
+		if err := tx.WriteU64(PMID(start), uint64(blockSize)); err != nil {
+			return Null, err
+		}
+		if err := tx.WriteU64(PMID(start+8), stateAlloc); err != nil {
+			return Null, err
+		}
+		p.stats.allocs.Add(1)
+		return PMID(start + blockHeaderSize), nil
+	}
+	bumpRaw, err := p.ReadU64(clk, a.bumpOff())
 	if err != nil {
 		return Null, err
 	}
-	start := int64(bump)
-	if start+blockSize > a.p.heapEnd {
-		return Null, fmt.Errorf("%w: heap exhausted (%d of %d used, need %d)",
-			ErrNoSpace, start-a.p.heapOff, a.p.heapEnd-a.p.heapOff, blockSize)
-	}
-	if err := tx.WriteU64(a.bumpOff(), uint64(start+blockSize)); err != nil {
+	limRaw, err := p.ReadU64(clk, a.limitOff())
+	if err != nil {
 		return Null, err
 	}
-	if err := tx.WriteU64(PMID(start), uint64(blockSize)); err != nil {
+	bump, limit := int64(bumpRaw), int64(limRaw)
+	if limit-bump < blockSize {
+		start, newLimit, err := p.reserveExtent(clk, blockSize, false)
+		if err != nil {
+			return Null, err
+		}
+		tx.extents = append(tx.extents, reservedExtent{a: a, start: start, limit: newLimit})
+		tx.markArenaDirty(a)
+		// Retire the old extent's unused tail onto the huge free list so
+		// switching extents strands at most one header's worth of space.
+		if tail := limit - bump; tail >= minBlock {
+			if err := p.pushFreeBlock(tx, a, PMID(bump+blockHeaderSize), tail); err != nil {
+				return Null, err
+			}
+		}
+		if err := tx.WriteU64(a.limitOff(), uint64(newLimit)); err != nil {
+			return Null, err
+		}
+		bump = start
+	}
+	tx.markArenaDirty(a)
+	if err := tx.WriteU64(a.bumpOff(), uint64(bump+blockSize)); err != nil {
 		return Null, err
 	}
-	if err := tx.WriteU64(PMID(start+8), stateAlloc); err != nil {
+	if err := tx.WriteU64(PMID(bump), uint64(blockSize)); err != nil {
 		return Null, err
 	}
-	a.p.bumpStat(func(s *Stats) { s.Allocs++ })
-	return PMID(start + blockHeaderSize), nil
+	if err := tx.WriteU64(PMID(bump+8), stateAlloc); err != nil {
+		return Null, err
+	}
+	p.stats.allocs.Add(1)
+	return PMID(bump + blockHeaderSize), nil
 }
 
-func (a *allocator) free(tx *Tx, id PMID) error {
-	tx.lockAllocator()
-	size, state, err := a.header(tx.clk, id)
+// returnExtents pushes extents reserved by an aborted transaction onto their
+// arena's huge free list. Rolling back the undo log restored each arena's
+// bump/limit to the pre-transaction extent, which would otherwise orphan the
+// reservations on every clean abort. The push uses the ordered-publish
+// pattern (format the block, persist, then flip the list head) instead of a
+// transaction: a crash mid-push leaks the extent, which is exactly the crash
+// behavior of the un-logged brk advance itself. The arenas involved are
+// still locked by the aborting transaction (reserving marked them dirty).
+func (tx *Tx) returnExtents() error {
+	p := tx.p
+	for _, e := range tx.extents {
+		size := e.limit - e.start
+		if size < minBlock {
+			continue
+		}
+		head, err := p.ReadU64(tx.clk, e.a.hugeOff())
+		if err != nil {
+			return err
+		}
+		var blk [24]byte
+		binary.LittleEndian.PutUint64(blk[0:], uint64(size))
+		binary.LittleEndian.PutUint64(blk[8:], stateFree)
+		binary.LittleEndian.PutUint64(blk[16:], head)
+		if err := p.StoreBytes(tx.clk, PMID(e.start), blk[:], true); err != nil {
+			return err
+		}
+		var hw [8]byte
+		binary.LittleEndian.PutUint64(hw[:], uint64(e.start+blockHeaderSize))
+		if err := p.StoreBytes(tx.clk, e.a.hugeOff(), hw[:], true); err != nil {
+			return err
+		}
+		e.a.freeHint.Add(1)
+	}
+	tx.extents = nil
+	return nil
+}
+
+// pushFreeBlock formats [id-blockHeaderSize, id-blockHeaderSize+size) as a
+// free block and pushes it onto the arena's huge free list (which accepts any
+// size >= minBlock; first-fit skips entries that are too small).
+func (p *Pool) pushFreeBlock(tx *Tx, a *arena, id PMID, size int64) error {
+	head, err := p.ReadU64(tx.clk, a.hugeOff())
 	if err != nil {
 		return err
 	}
-	if state != stateAlloc {
-		return fmt.Errorf("%w: Free of %d in state %#x (double free?)", ErrBadPointer, id, state)
-	}
-	var listOff PMID
-	if size <= maxClassBlock && size >= minBlock && size&(size-1) == 0 {
-		c := 0
-		for blockSizeOf(c) != size {
-			c++
-		}
-		listOff = a.classOff(c)
-	} else {
-		listOff = a.hugeOff()
-	}
-	head, err := a.p.ReadU64(tx.clk, listOff)
-	if err != nil {
+	if err := tx.WriteU64(id-blockHeaderSize, uint64(size)); err != nil {
 		return err
 	}
 	if err := tx.WriteU64(id-8, stateFree); err != nil {
@@ -275,19 +573,56 @@ func (a *allocator) free(tx *Tx, id PMID) error {
 	if err := tx.WriteU64(id, head); err != nil {
 		return err
 	}
-	if err := tx.WriteU64(listOff, uint64(id)); err != nil {
+	if err := tx.WriteU64(a.hugeOff(), uint64(id)); err != nil {
 		return err
 	}
-	a.p.bumpStat(func(s *Stats) { s.Frees++ })
+	a.freeHint.Add(1)
 	return nil
 }
 
-// HeapUsed returns the number of bump-allocated bytes (an upper bound on
-// live data; freed blocks are reused but not returned to the bump region).
+// rebuildFreeHints walks every arena's free lists at Open time to seed the
+// DRAM free-count hints (they do not survive restart). The walk is bounded
+// by the heap's maximum possible block count so a corrupt cyclic list cannot
+// hang Open.
+func (p *Pool) rebuildFreeHints(clk *sim.Clock) error {
+	maxBlocks := (p.heapEnd-p.heapOff)/minBlock + 1
+	for i := range p.arenas {
+		a := &p.arenas[i]
+		var count int64
+		heads := make([]PMID, 0, nSizeClasses+1)
+		for c := 0; c < nSizeClasses; c++ {
+			heads = append(heads, a.classOff(c))
+		}
+		heads = append(heads, a.hugeOff())
+		for _, listOff := range heads {
+			cur, err := p.ReadU64(clk, listOff)
+			if err != nil {
+				return err
+			}
+			for cur != 0 {
+				count++
+				if count > maxBlocks {
+					return fmt.Errorf("%w: free list at %d does not terminate", ErrCorrupt, listOff)
+				}
+				next, err := p.ReadU64(clk, PMID(cur))
+				if err != nil {
+					return err
+				}
+				cur = next
+			}
+		}
+		a.freeHint.Store(count)
+	}
+	return nil
+}
+
+// HeapUsed returns the number of brk-reserved heap bytes (an upper bound on
+// live data: it includes arenas' unfilled extent tails and extents leaked by
+// a crash mid-reservation, but freed blocks are reused before the brk grows).
 func (p *Pool) HeapUsed(clk *sim.Clock) (int64, error) {
-	bump, err := p.ReadU64(clk, p.alloc.bumpOff())
+	raw, err := p.ReadU64(clk, PMID(p.allocOff))
 	if err != nil {
 		return 0, err
 	}
-	return int64(bump) - p.heapOff, nil
+	return int64(raw) - p.heapOff, nil
 }

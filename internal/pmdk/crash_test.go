@@ -403,3 +403,89 @@ func TestRecoveredPoolPassesSmokeWorkload(t *testing.T) {
 		t.Fatalf("post-recovery Len = %d, want >= 50", n)
 	}
 }
+
+// TestCrashMatrixBatchedAlloc drives the batched-allocation pattern the
+// parallel store engine relies on: one transaction allocates a batch of
+// blocks (mixed class and huge sizes) and publishes every PMID into the root
+// object before committing. The matrix sweeps the power failure through
+// every persist point under each crash adversary; recovery must always leave
+// all-or-nothing — either every pointer is published and every block usable,
+// or none are.
+func TestCrashMatrixBatchedAlloc(t *testing.T) {
+	sizes := []int64{100, 2000, 5000, 64, 300, 9000}
+	modes := []struct {
+		name string
+		mode pmem.CrashMode
+	}{
+		{"loseall", pmem.CrashLoseAll},
+		{"keepall", pmem.CrashKeepAll},
+		{"random", pmem.CrashRandom},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range modes {
+		t.Run(tc.name, func(t *testing.T) {
+			for k := int64(0); ; k++ {
+				dev, mp, p := crashRig(t, 16<<20)
+				clk := new(sim.Clock)
+				root, _ := p.Root()
+
+				dev.FailAfterPersists(k)
+				completed := func() bool {
+					tx, err := p.Begin(clk)
+					if err != nil {
+						return false
+					}
+					ids := make([]PMID, len(sizes))
+					for i, sz := range sizes {
+						id, err := p.Alloc(tx, sz)
+						if err != nil {
+							tx.Abort()
+							return false
+						}
+						ids[i] = id
+					}
+					for i, id := range ids {
+						if err := tx.WriteU64(root+PMID(8*i), uint64(id)); err != nil {
+							tx.Abort()
+							return false
+						}
+					}
+					return tx.Commit() == nil
+				}()
+
+				dev.Crash(tc.mode, rng)
+				p2, err := Open(clk, mp)
+				if err != nil {
+					t.Fatalf("k=%d: recovery failed: %v", k, err)
+				}
+				root2, _ := p2.Root()
+				published := 0
+				for i := range sizes {
+					w, err := p2.ReadU64(clk, root2+PMID(8*i))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if w == 0 {
+						continue
+					}
+					published++
+					if n, err := p2.UsableSize(clk, PMID(w)); err != nil || n < sizes[i] {
+						t.Fatalf("k=%d: published block %d unusable (size %d, err %v)", k, i, n, err)
+					}
+				}
+				if published != 0 && published != len(sizes) {
+					t.Fatalf("k=%d: torn batch: %d of %d pointers published", k, published, len(sizes))
+				}
+				if completed && published != len(sizes) {
+					t.Fatalf("k=%d: committed batch lost (%d published)", k, published)
+				}
+				if completed {
+					break
+				}
+				if k > 5000 {
+					t.Fatal("batched alloc crash sweep did not terminate")
+				}
+			}
+		})
+	}
+}

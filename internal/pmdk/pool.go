@@ -11,6 +11,12 @@
 // persisted before the mutation, so recovery after a crash at any point
 // restores a consistent state. The crash tests in this package drive that
 // guarantee against the device's cacheline-granular crash simulator.
+//
+// The allocator is striped into independent arenas (one lock, one bump
+// extent, and one set of free lists each) so transactions on different
+// goroutines allocate without contending on a single mutex; arenas grow by
+// reserving extents from a shared brk, so no static heap partition limits
+// block sizes. See alloc.go for the locking protocol.
 package pmdk
 
 import (
@@ -18,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/sim"
@@ -42,7 +50,7 @@ var (
 
 const (
 	poolMagic   = "PMDKPOOL"
-	poolVersion = 1
+	poolVersion = 2
 	headerSize  = 256
 
 	// Header field offsets.
@@ -58,8 +66,9 @@ const (
 	hdrLaneSize = 60
 	hdrLaneOff  = 64
 	hdrAllocOff = 72
-	hdrChecksum = 80
-	hdrCksumEnd = 80 // checksum covers [0, hdrCksumEnd)
+	hdrArenas   = 80
+	hdrChecksum = 88
+	hdrCksumEnd = 88 // checksum covers [0, hdrCksumEnd)
 )
 
 // Options configures pool creation.
@@ -69,13 +78,17 @@ type Options struct {
 	// Lanes is the number of independent transaction lanes (concurrent
 	// transactions).
 	Lanes int
+	// Arenas is the number of independent allocator arenas (one lock each).
+	// 0 means GOMAXPROCS; values above Lanes are clamped to Lanes, since at
+	// most Lanes transactions can allocate concurrently.
+	Arenas int
 	// LaneLogSize is the undo-log capacity per lane.
 	LaneLogSize int64
 }
 
 // DefaultOptions returns the options used when nil is passed to Create.
 func DefaultOptions() Options {
-	return Options{RootSize: 4096, Lanes: 16, LaneLogSize: 16 << 10}
+	return Options{RootSize: 4096, Lanes: 16, Arenas: runtime.GOMAXPROCS(0), LaneLogSize: 16 << 10}
 }
 
 // Pool is a PMDK-style persistent object pool.
@@ -93,21 +106,44 @@ type Pool struct {
 
 	laneFree chan int // DRAM pool of available lane indices
 
-	alloc *allocator
-	// allocMu serializes allocator-metadata mutations across transactions:
-	// free-list heads and the bump pointer are shared words, and two lanes
-	// undo-logging them concurrently would race (and leave recovery order
-	// ambiguous). A transaction takes the lock at its first allocator
-	// mutation and releases it when it commits or aborts, so allocator
-	// pre-images in different lanes never overlap in time.
-	allocMu sync.Mutex
+	// arenas stripes the allocator: each arena owns a mutex, a 64-byte
+	// persistent metadata block, and a contiguous slice of the heap to carve
+	// from. A transaction's first Alloc/Free picks a home arena (round-robin)
+	// and holds its lock until commit/abort, so allocator pre-images in
+	// different lanes never overlap in time; see alloc.go for the protocol.
+	arenas  []arena
+	arenaRR atomic.Uint64
+	// brkMu guards the shared extent brk at allocOff. It is a leaf lock:
+	// taken only inside extent reservation, never while acquiring any other
+	// lock, so holding an arena lock across it cannot deadlock.
+	brkMu sync.Mutex
+	// extent is the default extent reservation size (DRAM-only policy knob,
+	// derived from the heap size; see newPoolStruct).
+	extent int64
 
 	// DRAM lock table: persistent locks are re-initialized at open, exactly
 	// like PMDK's PMEMmutex semantics.
 	lockShards [lockShards]lockShard
 
-	statsMu sync.Mutex
-	stats   Stats
+	stats statsCounters
+}
+
+// arena is one allocator stripe. The mutex guards the persistent metadata at
+// metaOff (extent bump/limit, free-list heads) and nothing else: block
+// contents are protected by the owning transaction's locks. Arenas carve
+// from private extents reserved off the pool's shared brk, so the heap is
+// not statically partitioned and one arena can still host a block nearly as
+// large as the whole heap. Free lists are not address-partitioned either:
+// blocks carry self-describing headers, so an arena's list may hold blocks
+// carved anywhere.
+type arena struct {
+	mu      sync.Mutex
+	metaOff int64
+	// freeHint approximates the number of blocks on this arena's free lists
+	// (DRAM-only, rebuilt at Open). Allocations scan a foreign arena for
+	// reusable blocks only when its hint is positive, so the fresh-write
+	// path never pays cross-arena traffic.
+	freeHint atomic.Int64
 }
 
 const lockShards = 64
@@ -124,6 +160,19 @@ type Stats struct {
 	Transactions int64
 	Aborts       int64
 	Recovered    int64 // transactions rolled back during Open
+	ArenaSteals  int64 // allocations that fell back to a non-home arena
+}
+
+// statsCounters are the live atomics behind Stats; they are DRAM-only and
+// updated lock-free so concurrent transactions never contend (or race) on a
+// stats mutex.
+type statsCounters struct {
+	allocs       atomic.Int64
+	frees        atomic.Int64
+	transactions atomic.Int64
+	aborts       atomic.Int64
+	recovered    atomic.Int64
+	arenaSteals  atomic.Int64
 }
 
 func headerChecksum(h []byte) uint64 {
@@ -139,14 +188,23 @@ func Create(clk *sim.Clock, m *pmem.Mapping, opts *Options) (*Pool, error) {
 	if opts != nil {
 		o = *opts
 	}
+	if o.Arenas <= 0 {
+		o.Arenas = runtime.GOMAXPROCS(0)
+	}
 	if o.Lanes <= 0 || o.LaneLogSize < 4096 || o.RootSize < 0 {
 		return nil, fmt.Errorf("pmdk: invalid options %+v", o)
 	}
+	if o.Arenas > o.Lanes {
+		// At most Lanes transactions exist at once, so extra arenas could
+		// never be locked concurrently; clamping keeps regions usefully big.
+		o.Arenas = o.Lanes
+	}
 	allocOff := int64(headerSize)
-	laneOff := align8(allocOff + allocMetaSize)
+	laneOff := align8(allocOff + brkMetaSize + int64(o.Arenas)*allocMetaSize)
 	rootOff := align8(laneOff + int64(o.Lanes)*o.LaneLogSize)
 	heapOff := alignUp(rootOff+o.RootSize, 64)
-	if heapOff+64 > m.Len() {
+	// The heap needs room for at least one minimum block.
+	if heapOff+minBlock > m.Len() {
 		return nil, fmt.Errorf("%w: mapping of %d bytes too small for layout", ErrNoSpace, m.Len())
 	}
 
@@ -171,6 +229,7 @@ func Create(clk *sim.Clock, m *pmem.Mapping, opts *Options) (*Pool, error) {
 	binary.LittleEndian.PutUint32(hdr[hdrLaneSize:], uint32(o.LaneLogSize))
 	binary.LittleEndian.PutUint64(hdr[hdrLaneOff:], uint64(laneOff))
 	binary.LittleEndian.PutUint64(hdr[hdrAllocOff:], uint64(allocOff))
+	binary.LittleEndian.PutUint32(hdr[hdrArenas:], uint32(o.Arenas))
 	binary.LittleEndian.PutUint64(hdr[hdrChecksum:], headerChecksum(hdr))
 	m.ChargeWrite(clk, headerSize)
 	if err := m.Persist(clk, 0, headerSize); err != nil {
@@ -197,9 +256,12 @@ func Create(clk *sim.Clock, m *pmem.Mapping, opts *Options) (*Pool, error) {
 		return nil, err
 	}
 
-	p := newPoolStruct(m, rootOff, o.RootSize, heapOff, m.Len(), laneOff, o.Lanes, o.LaneLogSize, allocOff)
-	// Initialize the allocator's bump pointer to the heap start.
-	p.alloc.initFresh(clk)
+	p := newPoolStruct(m, rootOff, o.RootSize, heapOff, m.Len(), laneOff, o.Lanes, o.LaneLogSize, allocOff, o.Arenas)
+	// Seed the shared extent brk; arena extents start empty (bump = limit = 0
+	// from the zeroing above) and are reserved lazily on first carve.
+	if err := p.initBrk(clk); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -223,6 +285,10 @@ func Open(clk *sim.Clock, m *pmem.Mapping) (*Pool, error) {
 	if got := binary.LittleEndian.Uint64(hdr[hdrPoolSize:]); int64(got) != m.Len() {
 		return nil, fmt.Errorf("%w: pool size %d != mapping %d", ErrBadPool, got, m.Len())
 	}
+	arenas := int(binary.LittleEndian.Uint32(hdr[hdrArenas:]))
+	if arenas <= 0 {
+		return nil, fmt.Errorf("%w: arena count %d", ErrBadPool, arenas)
+	}
 	p := newPoolStruct(m,
 		int64(binary.LittleEndian.Uint64(hdr[hdrRootOff:])),
 		int64(binary.LittleEndian.Uint64(hdr[hdrRootSize:])),
@@ -232,15 +298,19 @@ func Open(clk *sim.Clock, m *pmem.Mapping) (*Pool, error) {
 		int(binary.LittleEndian.Uint32(hdr[hdrLanes:])),
 		int64(binary.LittleEndian.Uint32(hdr[hdrLaneSize:])),
 		int64(binary.LittleEndian.Uint64(hdr[hdrAllocOff:])),
+		arenas,
 	)
 	if err := p.recover(clk); err != nil {
+		return nil, err
+	}
+	if err := p.rebuildFreeHints(clk); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
 func newPoolStruct(m *pmem.Mapping, rootOff, rootSize, heapOff, heapEnd, laneOff int64,
-	lanes int, laneSize, allocOff int64) *Pool {
+	lanes int, laneSize, allocOff int64, arenas int) *Pool {
 	p := &Pool{
 		m:        m,
 		rootOff:  rootOff,
@@ -259,7 +329,20 @@ func newPoolStruct(m *pmem.Mapping, rootOff, rootSize, heapOff, heapEnd, laneOff
 	for i := range p.lockShards {
 		p.lockShards[i].locks = make(map[PMID]*sync.RWMutex)
 	}
-	p.alloc = &allocator{p: p, metaOff: allocOff}
+	p.arenas = make([]arena, arenas)
+	for i := range p.arenas {
+		p.arenas[i].metaOff = allocOff + brkMetaSize + int64(i)*allocMetaSize
+	}
+	// Default extent size scales with the heap so small pools are not eaten
+	// by per-arena slack; huge blocks always get exact-size extents.
+	p.extent = (heapEnd - heapOff) / int64(arenas*16)
+	if p.extent > maxExtent {
+		p.extent = maxExtent
+	}
+	if p.extent < minExtent {
+		p.extent = minExtent
+	}
+	p.extent = alignUp(p.extent, sim.CachelineSize)
 	return p
 }
 
@@ -269,17 +352,19 @@ func (p *Pool) Mapping() *pmem.Mapping { return p.m }
 // Root returns the offset and size of the fixed root object.
 func (p *Pool) Root() (PMID, int64) { return PMID(p.rootOff), p.rootSize }
 
+// Arenas returns the number of allocator arenas.
+func (p *Pool) Arenas() int { return len(p.arenas) }
+
 // Stats returns a snapshot of the pool's DRAM-side counters.
 func (p *Pool) Stats() Stats {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	return p.stats
-}
-
-func (p *Pool) bumpStat(f func(*Stats)) {
-	p.statsMu.Lock()
-	f(&p.stats)
-	p.statsMu.Unlock()
+	return Stats{
+		Allocs:       p.stats.allocs.Load(),
+		Frees:        p.stats.frees.Load(),
+		Transactions: p.stats.transactions.Load(),
+		Aborts:       p.stats.aborts.Load(),
+		Recovered:    p.stats.recovered.Load(),
+		ArenaSteals:  p.stats.arenaSteals.Load(),
+	}
 }
 
 // checkRange validates a pool-relative range.

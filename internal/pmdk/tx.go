@@ -40,27 +40,92 @@ type Tx struct {
 	ranges []txRange
 	done   bool
 
-	// allocLocked reports whether this transaction holds the pool's
-	// allocator mutex (taken lazily at the first Alloc/Free).
-	allocLocked bool
+	// held lists the arena locks this transaction owns, in acquisition
+	// order. held[0] is the home arena (taken blocking at the first
+	// Alloc/Free); later entries were stolen with TryLock. dirty marks
+	// arenas whose metadata this transaction has pre-imaged: those must stay
+	// locked until commit/abort so no other transaction logs the same words
+	// while this one is active.
+	held []heldArena
+
+	// extents records brk reservations made on this transaction's behalf.
+	// The brk advance is not undo-logged, so a clean Abort must hand the
+	// space back explicitly (see returnExtents); Commit just drops the list.
+	extents []reservedExtent
 }
 
-// lockAllocator takes the pool-wide allocator lock for the rest of the
-// transaction's lifetime.
-func (tx *Tx) lockAllocator() {
-	if tx.allocLocked {
-		return
-	}
-	tx.p.allocMu.Lock()
-	tx.allocLocked = true
+type reservedExtent struct {
+	a            *arena
+	start, limit int64
 }
 
-// unlockAllocator releases the allocator lock at commit/abort.
-func (tx *Tx) unlockAllocator() {
-	if tx.allocLocked {
-		tx.allocLocked = false
-		tx.p.allocMu.Unlock()
+type heldArena struct {
+	ar    *arena
+	dirty bool
+}
+
+// homeArena returns the transaction's home arena, picking one round-robin
+// and taking its lock (blocking) on first use. Blocking is safe here because
+// the transaction holds no other arena lock yet.
+func (tx *Tx) homeArena() *arena {
+	if len(tx.held) > 0 {
+		return tx.held[0].ar
 	}
+	i := int(tx.p.arenaRR.Add(1)-1) % len(tx.p.arenas)
+	a := &tx.p.arenas[i]
+	a.mu.Lock()
+	tx.held = append(tx.held, heldArena{ar: a})
+	return a
+}
+
+// holdsArena reports whether tx owns a's lock.
+func (tx *Tx) holdsArena(a *arena) bool {
+	for i := range tx.held {
+		if tx.held[i].ar == a {
+			return true
+		}
+	}
+	return false
+}
+
+// holdArena records an arena lock acquired by the caller (via TryLock).
+func (tx *Tx) holdArena(a *arena) {
+	tx.held = append(tx.held, heldArena{ar: a})
+}
+
+// markArenaDirty flags a as mutated by this transaction; its lock is then
+// pinned until commit/abort.
+func (tx *Tx) markArenaDirty(a *arena) {
+	for i := range tx.held {
+		if tx.held[i].ar == a {
+			tx.held[i].dirty = true
+			return
+		}
+	}
+}
+
+// releaseArenaIfClean unlocks a stolen arena the transaction never mutated.
+// The home arena (held[0]) is always kept so repeated Alloc/Free calls stay
+// on one stripe.
+func (tx *Tx) releaseArenaIfClean(a *arena) {
+	for i := 1; i < len(tx.held); i++ {
+		if tx.held[i].ar == a {
+			if tx.held[i].dirty {
+				return
+			}
+			tx.held = append(tx.held[:i], tx.held[i+1:]...)
+			a.mu.Unlock()
+			return
+		}
+	}
+}
+
+// unlockArenas releases every held arena lock at commit/abort.
+func (tx *Tx) unlockArenas() {
+	for i := range tx.held {
+		tx.held[i].ar.mu.Unlock()
+	}
+	tx.held = nil
 }
 
 type txRange struct{ off, n int64 }
@@ -74,7 +139,7 @@ func (p *Pool) Begin(clk *sim.Clock) (*Tx, error) {
 		return nil, err
 	}
 	p.m.Fence(clk)
-	p.bumpStat(func(s *Stats) { s.Transactions++ })
+	p.stats.transactions.Add(1)
 	return tx, nil
 }
 
@@ -198,11 +263,11 @@ func (tx *Tx) Commit() error {
 	}
 	tx.p.m.Fence(tx.clk)
 	if err := tx.finishLane(); err != nil {
-		tx.unlockAllocator()
+		tx.unlockArenas()
 		return err
 	}
 	tx.done = true
-	tx.unlockAllocator()
+	tx.unlockArenas()
 	tx.p.laneFree <- tx.lane
 	return nil
 }
@@ -213,12 +278,19 @@ func (tx *Tx) Abort() error {
 		return fmt.Errorf("pmdk: double Commit/Abort")
 	}
 	if err := tx.p.rollbackLane(tx.clk, tx.lane); err != nil {
-		tx.unlockAllocator()
+		tx.unlockArenas()
+		return err
+	}
+	// The rollback reset arena bump/limit words to their previous extents;
+	// push any extents this transaction reserved onto free lists so clean
+	// aborts do not leak heap (their arenas are still locked here).
+	if err := tx.returnExtents(); err != nil {
+		tx.unlockArenas()
 		return err
 	}
 	tx.done = true
-	tx.unlockAllocator()
-	tx.p.bumpStat(func(s *Stats) { s.Aborts++ })
+	tx.unlockArenas()
+	tx.p.stats.aborts.Add(1)
 	tx.p.laneFree <- tx.lane
 	return nil
 }
@@ -314,7 +386,7 @@ func (p *Pool) recover(clk *sim.Clock) error {
 		if err := p.rollbackLane(clk, lane); err != nil {
 			return err
 		}
-		p.bumpStat(func(s *Stats) { s.Recovered++ })
+		p.stats.recovered.Add(1)
 	}
 	return nil
 }

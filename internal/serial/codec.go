@@ -39,6 +39,14 @@ type Codec interface {
 	CostProfile() (encodePasses, decodePasses float64)
 }
 
+// IdentityEncoder is implemented by codecs whose EncodeTo is a plain byte
+// copy of the payload with no header (raw). Callers may then copy disjoint
+// sub-ranges of one encode concurrently — the property the parallel store
+// engine needs to chunk a single destination block across workers.
+type IdentityEncoder interface {
+	IdentityEncode() bool
+}
+
 var (
 	registryMu sync.RWMutex
 	registry   = make(map[string]Codec)

@@ -14,6 +14,7 @@ func init() { Register(rawCodec{}) }
 func (rawCodec) Name() string                    { return "raw" }
 func (rawCodec) SelfDescribing() bool            { return false }
 func (rawCodec) CostProfile() (float64, float64) { return 0.60, 0.60 }
+func (rawCodec) IdentityEncode() bool            { return true }
 
 func (rawCodec) EncodedSize(d *Datum) int { return len(d.Payload) }
 

@@ -144,6 +144,32 @@ func (p *Pool) Cost(n int64) time.Duration {
 	return BytesAt(n, p.Share())
 }
 
+// GroupShare returns the bandwidth available to one user driving k concurrent
+// streams into the pool. The user's slice of the pool total is unchanged (the
+// device is still divided among the same number of users), but the per-stream
+// cap scales with k: a single thread cannot saturate PMEM while several
+// threads sized to the DIMM count can ("Persistent Memory I/O Primitives",
+// van Renen et al.).
+func (p *Pool) GroupShare(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	n := p.preset.Load()
+	if n == 0 {
+		n = p.active.Load()
+	}
+	if n < 1 {
+		n = 1
+	}
+	s := p.bps / float64(n)
+	if p.perUser > 0 {
+		if c := p.perUser * float64(k); c < s {
+			return c
+		}
+	}
+	return s
+}
+
 // BytesAt converts a byte count moved at bps bytes/second into a duration.
 func BytesAt(n int64, bps float64) time.Duration {
 	if n <= 0 || bps <= 0 {
@@ -172,6 +198,37 @@ func MoveCost(n int64, perCoreBPS, oversub float64, pools ...*Pool) time.Duratio
 	}
 	for _, p := range pools {
 		s := p.Share()
+		if eff == 0 || s < eff {
+			eff = s
+		}
+	}
+	return BytesAt(n, eff)
+}
+
+// MoveCostParallel models a data movement of n bytes executed by `workers`
+// concurrent streams within one rank. CPU throughput scales with the worker
+// count (each worker is a core running the copy loop, discounted by the
+// oversubscription factor computed for rank*worker total threads), and each
+// pool contributes its GroupShare: the rank's slice of the device, with the
+// per-stream cap lifted by the worker count. The slowest constraint wins.
+//
+// With workers == 1 this reduces exactly to MoveCost.
+func MoveCostParallel(n int64, perCoreBPS, oversub float64, workers int, pools ...*Pool) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if oversub < 1 {
+		oversub = 1
+	}
+	eff := 0.0
+	if perCoreBPS > 0 {
+		eff = float64(workers) * perCoreBPS / oversub
+	}
+	for _, p := range pools {
+		s := p.GroupShare(workers)
 		if eff == 0 || s < eff {
 			eff = s
 		}
