@@ -1,10 +1,10 @@
 # Build and verification entry points. `make tier1` is the minimum gate;
 # `make race` is required for any change touching internal/pmdk or the
-# parallel copy engine in internal/core.
+# parallel copy/gather engines in internal/core.
 
 GO ?= go
 
-.PHONY: all build test tier1 race fuzz bench clean
+.PHONY: all build test tier1 vet verify race fuzz bench clean
 
 all: tier1
 
@@ -14,7 +14,13 @@ build:
 test:
 	$(GO) test ./...
 
-tier1: build test
+vet:
+	$(GO) vet ./...
+
+tier1: build vet test
+
+# verify is the pre-merge checklist: the tier-1 gate plus the race detector.
+verify: tier1 race
 
 # Full suite under the race detector. The concurrency stress tests
 # (internal/pmdk/concurrent_test.go, internal/core/concurrent_test.go) only

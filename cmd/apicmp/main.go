@@ -118,6 +118,22 @@ const pmemcpyGo = `func write(c *pmemcpy.Comm, n *pmemcpy.Node, path string) err
 	return pmem.Munmap()
 }`
 
+// The same program against the v2 typed-handle surface (Array[T] plus the
+// variadic Mmap): binding (handle, id, type) once removes the repeated
+// arguments the free functions carry.
+const pmemcpyGoV2 = `func write(c *pmemcpy.Comm, n *pmemcpy.Node, path string) error {
+	count := uint64(100)
+	off := count * uint64(c.Rank())
+	data := make([]float64, count)
+	pmem, err := pmemcpy.Mmap(c, n, path)
+	if err != nil {
+		return err
+	}
+	a, _ := pmemcpy.CreateArray[float64](pmem, "A", count*uint64(c.Size()))
+	a.Store(data, []uint64{off}, []uint64{count})
+	return pmem.Munmap()
+}`
+
 func main() {
 	type row struct {
 		name         string
@@ -131,6 +147,7 @@ func main() {
 		{"ADIOS (Fig 5, C)", adiosC, 24, 164, "paper"},
 		{"pMEMCPY (Fig 3, C++)", pmemcpyCpp, 16, 132, "paper"},
 		{"pMEMCPY (this repo, Go)", pmemcpyGo, 0, 0, "-"},
+		{"pMEMCPY (Go, v2 Array)", pmemcpyGoV2, 0, 0, "-"},
 	}
 
 	fmt.Println("SECTION 3 API COMPLEXITY — write 100 doubles/process to a shared 1-D array")

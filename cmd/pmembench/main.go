@@ -41,8 +41,9 @@ func main() {
 		vars      = flag.Int("vars", 10, "number of 3-D rectangles")
 		runs      = flag.Int("runs", 1, "repetitions to average (the paper: 3)")
 		verify    = flag.Bool("verify", false, "verify every byte read back")
-		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel")
+		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel | readparallel")
 		parallel  = flag.Int("parallel", 0, "per-rank copy workers for the pMEMCPY libraries (<=1: serial)")
+		readpar   = flag.Int("readparallel", 0, "per-rank gather workers for the pMEMCPY libraries (0: follow -parallel, 1: serial)")
 		pattern   = flag.String("pattern", "same", "read access pattern: same | restart | plane")
 		readprocs = flag.Int("readprocs", 0, "reader count for the restart pattern (0 = same as writers)")
 		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
@@ -67,9 +68,10 @@ func main() {
 		Config:      sim.DefaultConfig().Scale(scale),
 		Verify:      *verify,
 		Runs:        *runs,
-		Pattern:     pat,
-		ReadRanks:   *readprocs,
-		Parallelism: *parallel,
+		Pattern:         pat,
+		ReadRanks:       *readprocs,
+		Parallelism:     *parallel,
+		ReadParallelism: *readpar,
 	}
 	fmt.Printf("pmembench: modelled %.1f GB across %d rectangles, profile scale %.0fx (physical %.0f MB)\n\n",
 		*size/1e9, *vars, scale, float64(base.TotalBytes)/1e6)
@@ -189,6 +191,13 @@ func runAblation(name string, rankCounts []int, base harness.Params) ([]harness.
 		// per-rank worker sweep (run with a fixed -procs, e.g. -procs 8).
 		for _, k := range []int{1, 2, 4, 8, 16, 32, 48} {
 			libs = append(libs, named{core.Library{Parallelism: k}, fmt.Sprintf("par=%d", k)})
+		}
+	case "readparallel":
+		// The gather-engine sweep: read-side mirror of "parallel". Writes are
+		// kept serial so the write column stays flat and only the read column
+		// responds to the worker count (run with a fixed -procs, e.g. -procs 8).
+		for _, k := range []int{1, 2, 4, 8, 16, 32} {
+			libs = append(libs, named{core.Library{ReadParallelism: k}, fmt.Sprintf("rpar=%d", k)})
 		}
 	case "fill":
 		libs = []pio.Library{

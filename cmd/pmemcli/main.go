@@ -30,6 +30,7 @@ func main() {
 		dump       = flag.String("dump", "", "hex-dump the first bytes of this id's data")
 		ranks      = flag.Int("ranks", 4, "parallel ranks populating the store")
 		parallel   = flag.Int("parallel", 0, "per-rank copy workers for large stores (<=1: serial)")
+		readpar    = flag.Int("readparallel", 0, "per-rank gather workers for large loads (0: follow -parallel, 1: serial)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	}
 
 	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
-	opts := &pmemcpy.Options{Layout: layout, Codec: *codec, Parallelism: *parallel}
+	opts := &pmemcpy.Options{Layout: layout, Codec: *codec, Parallelism: *parallel, ReadParallelism: *readpar}
 
 	// Populate: a small 3-D decomposition plus scalars, in parallel.
 	_, err := pmemcpy.Run(n, *ranks, func(c *pmemcpy.Comm) error {
@@ -98,7 +99,16 @@ func main() {
 			}
 			dims, derr := pmemcpy.LoadDims(p, k)
 			if derr == nil {
-				fmt.Printf("%-24s %-10s dims=%v (+%s companion)\n", k, "array", dims, pmemcpy.DimsSuffix)
+				detail := fmt.Sprintf("dims=%v (+%s companion)", dims, pmemcpy.DimsSuffix)
+				if layout == pmemcpy.LayoutHashtable {
+					// First MinMax per id builds the DRAM block index (a
+					// cache miss); the hit counter below shows repeats are
+					// served from DRAM.
+					if mn, mx, merr := p.MinMax(k); merr == nil {
+						detail += fmt.Sprintf(" range=[%g, %g]", mn, mx)
+					}
+				}
+				fmt.Printf("%-24s %-10s %s\n", k, "array", detail)
 				continue
 			}
 			if s, serr := pmemcpy.LoadString(p, k); serr == nil {
@@ -106,6 +116,19 @@ func main() {
 				continue
 			}
 			fmt.Printf("%-24s %-10s\n", k, "scalar")
+		}
+
+		if layout == pmemcpy.LayoutHashtable {
+			// Repeat the range queries: every id's index is now resident, so
+			// these are pure DRAM cache hits (visible in READ ENGINE below).
+			for _, k := range keys {
+				if strings.HasSuffix(k, pmemcpy.DimsSuffix) {
+					continue
+				}
+				if _, derr := pmemcpy.LoadDims(p, k); derr == nil {
+					p.MinMax(k)
+				}
+			}
 		}
 
 		st, err := p.Stats()
@@ -116,6 +139,10 @@ func main() {
 			st.Keys, st.HeapUsed, st.Allocs, st.Frees, st.Transactions, st.Aborts, st.Recovered)
 		fmt.Printf("CONCURRENCY: arenas=%d arena-steals=%d parallelism=%d parallel-stores=%d parallel-blocks=%d\n",
 			st.Arenas, st.ArenaSteals, st.Parallelism, st.ParallelStores, st.ParallelBlocks)
+		fmt.Printf("READ ENGINE: read-parallelism=%d parallel-reads=%d parallel-read-jobs=%d\n",
+			st.ReadParallelism, st.ParallelReads, st.ParallelReadJobs)
+		fmt.Printf("BLOCK-INDEX CACHE: hits=%d misses=%d invalidations=%d\n",
+			st.CacheHits, st.CacheMisses, st.CacheInvalidations)
 
 		if *dump != "" {
 			vals := make([]float64, 8)

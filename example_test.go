@@ -1,6 +1,7 @@
 package pmemcpy_test
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -115,6 +116,76 @@ func ExampleStoreStruct() {
 		log.Fatal(err)
 	}
 	// Output: station 7, thermo reads 21.7
+}
+
+// ExampleCreateArray shows the typed-handle surface: Array[T] binds a handle,
+// an id and an element type once, and Store/Load/MinMax drop the repeated
+// arguments the free functions carry. Mmap takes functional options (or
+// nothing at all for the paper's defaults).
+func ExampleCreateArray() {
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, node, "/arr.pool", pmemcpy.WithReadParallelism(4))
+		if err != nil {
+			return err
+		}
+		temp, err := pmemcpy.CreateArray[float64](p, "temperature", 4, 4)
+		if err != nil {
+			return err
+		}
+		row := []float64{18.5, 19, 21.25, 20}
+		if err := temp.Store(row, []uint64{2, 0}, []uint64{1, 4}); err != nil {
+			return err
+		}
+		got := make([]float64, 2)
+		if err := temp.Load(got, []uint64{2, 1}, []uint64{1, 2}); err != nil {
+			return err
+		}
+		_, mx, err := temp.MinMax()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cells %v, max %g\n", got, mx)
+		return p.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: cells [19 21.25], max 21.25
+}
+
+// Example_sentinels dispatches on the library's error taxonomy with
+// errors.Is: every failure caused by a missing id, a mismatched type, or an
+// out-of-range selection wraps the corresponding exported sentinel.
+func Example_sentinels() {
+	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, node, "/err.pool")
+		if err != nil {
+			return err
+		}
+		if _, err := pmemcpy.Load[int64](p, "ghost"); errors.Is(err, pmemcpy.ErrNotFound) {
+			fmt.Println("ghost: not found")
+		}
+		if err := pmemcpy.StoreSlice(p, "A", []float64{1, 2, 3}, 3); err != nil {
+			return err
+		}
+		dst := make([]float64, 3)
+		if err := pmemcpy.LoadSub(p, "A", dst, []uint64{2}, []uint64{2}); errors.Is(err, pmemcpy.ErrOutOfBounds) {
+			fmt.Println("A[2:4]: out of bounds")
+		}
+		if _, err := pmemcpy.OpenArray[int32](p, "A"); errors.Is(err, pmemcpy.ErrTypeMismatch) {
+			fmt.Println("A as int32: type mismatch")
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// ghost: not found
+	// A[2:4]: out of bounds
+	// A as int32: type mismatch
 }
 
 // ExampleMinMax queries value statistics from BP4 block characteristics

@@ -28,7 +28,7 @@ func (p *PMEM) Compact(id string) (int, error) {
 		return 0, err
 	}
 	if !ok {
-		return 0, fmt.Errorf("core: %q has no stored blocks", id)
+		return 0, fmt.Errorf("core: %q has no stored blocks: %w", id, ErrNotFound)
 	}
 
 	// A block i is dead if some newer block j > i contains its region.
@@ -56,9 +56,12 @@ func (p *PMEM) Compact(id string) (int, error) {
 
 	// Publish the pruned list first, then free the storage: a crash between
 	// the two leaks blocks (recoverable garbage) but never dangles pointers.
+	// The DRAM index is dropped before the blocks are freed so no reader can
+	// plan a gather against a PMID that a concurrent reuse may repurpose.
 	if err := p.putValue(id, encodeBlockList(live)); err != nil {
 		return 0, err
 	}
+	p.invalidateCache(id)
 	tx, err := p.st.pool.Begin(clk)
 	if err != nil {
 		return 0, err

@@ -78,8 +78,14 @@ type Options struct {
 	// copy large store payloads into PMEM (the goroutine analogue of the
 	// paper's procs sweep). Values <= 1 keep every store on the serial
 	// path. It also sizes the pool's allocator arenas, so concurrent
-	// workers allocate without contending on one lock.
+	// workers allocate without contending on one lock. Reads use the same
+	// worker count unless ReadParallelism overrides it.
 	Parallelism int
+	// ReadParallelism overrides the worker count for the gather (read)
+	// engine only: 0 follows Parallelism, 1 forces serial reads, k > 1 runs
+	// k gather workers. It exists so the read-parallel ablation can sweep
+	// readers while writes stay serial.
+	ReadParallelism int
 }
 
 // PMEM is the library handle, the analogue of pmemcpy::PMEM in Figure 2.
@@ -97,24 +103,41 @@ type shared struct {
 	layout   Layout
 	mapSync  bool
 	staged   bool // StagedSerialization ablation
-	par      int  // copy-engine workers per rank (<=1: serial path)
+	par      int  // write copy-engine workers per rank (<=1: serial path)
+	rpar     int  // gather (read) engine workers per rank (<=1: serial path)
 	pool     *pmdk.Pool
 	ht       *pmdk.Hashtable
 	hier     *hierStore
-	varLocks sync.Map // id -> *sync.Mutex, serializes block-list updates
+	// varLocks maps id -> *sync.RWMutex. Writers hold the write lock across
+	// their metadata republish; readers hold the read lock only while
+	// reading persistent metadata on a cache miss (hits bypass it).
+	varLocks sync.Map
+
+	// cache is the DRAM block-index cache (blockcache.go), shared by every
+	// rank of the handle group like the pool itself.
+	cache *blockCache
 
 	// Copy-engine counters, surfaced through StoreStats.
-	parallelStores atomic.Int64 // stores that took the parallel path
-	parallelBlocks atomic.Int64 // shard blocks written by the parallel path
+	parallelStores   atomic.Int64 // stores that took the parallel path
+	parallelBlocks   atomic.Int64 // shard blocks written by the parallel path
+	parallelReads    atomic.Int64 // loads that took the parallel gather path
+	parallelReadJobs atomic.Int64 // gather jobs those loads executed
 }
 
 // Mmap opens (creating if necessary) the pMEMCPY store at path. It is
 // collective over c: all ranks must call it with the same arguments, just as
 // all processes of an MPI job map the same pool file (Figure 3, line 14).
-func Mmap(c *mpi.Comm, n *node.Node, path string, opts *Options) (*PMEM, error) {
+//
+// Configuration is variadic: pass nothing for the paper's evaluated defaults,
+// a *Options struct (every pre-existing call site, including nil, compiles
+// unchanged), functional options (WithMapSync, WithLayout, WithParallelism,
+// ...), or a mix — later options override earlier ones field by field.
+func Mmap(c *mpi.Comm, n *node.Node, path string, opts ...MmapOption) (*PMEM, error) {
 	o := Options{}
-	if opts != nil {
-		o = *opts
+	for _, op := range opts {
+		if op != nil {
+			op.ApplyMmapOption(&o)
+		}
 	}
 	codecName := o.Codec
 	if codecName == "" {
@@ -154,6 +177,13 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 	if par < 1 {
 		par = 1
 	}
+	rpar := o.ReadParallelism
+	if rpar == 0 {
+		rpar = par
+	}
+	if rpar < 1 {
+		rpar = 1
+	}
 	if o.Layout == LayoutHierarchy {
 		if err := n.FS.MkdirAll(clk, path); err != nil {
 			return nil, err
@@ -162,7 +192,9 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 			layout:  LayoutHierarchy,
 			mapSync: o.MapSync,
 			par:     par,
+			rpar:    rpar,
 			hier:    &hierStore{node: n, root: path},
+			cache:   newBlockCache(),
 		}, nil
 	}
 
@@ -250,8 +282,10 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		mapSync: o.MapSync,
 		staged:  o.StagedSerialization,
 		par:     par,
+		rpar:    rpar,
 		pool:    pool,
 		ht:      ht,
+		cache:   newBlockCache(),
 	}, nil
 }
 
@@ -270,9 +304,9 @@ func (p *PMEM) MapSync() bool { return p.st.mapSync }
 // CodecName returns the active serializer's name.
 func (p *PMEM) CodecName() string { return p.codec.Name() }
 
-func (p *PMEM) varLock(id string) *sync.Mutex {
-	l, _ := p.st.varLocks.LoadOrStore(id, new(sync.Mutex))
-	return l.(*sync.Mutex)
+func (p *PMEM) varLock(id string) *sync.RWMutex {
+	l, _ := p.st.varLocks.LoadOrStore(id, new(sync.RWMutex))
+	return l.(*sync.RWMutex)
 }
 
 // chargeStoreBytes accounts moving n encoded bytes into PMEM. On the
@@ -362,6 +396,32 @@ func (p *PMEM) chargeDirectRead(n int64, passes float64) {
 	}
 }
 
+// chargeParallelRead accounts one parallel gather: `workers` goroutines each
+// stream a slice of the n encoded bytes out of mapped PMEM. The mirror image
+// of chargeParallelStore: CPU decode throughput scales with the worker count
+// (discounted by the oversubscription of ranks*workers threads) and the
+// device side by the read port's GroupShare — concurrent streams lift the
+// single-thread PMEM read cap until the rank's slice of the device read
+// bandwidth saturates. Extra codec passes stay in DRAM; the MAP_SYNC
+// per-line penalty is split across workers like the write side.
+func (p *PMEM) chargeParallelRead(n int64, passes float64, workers int) {
+	m := p.node.Machine
+	cfg := m.Config()
+	clk := p.comm.Clock()
+	over := m.Oversub(p.comm.Size() * workers)
+	clk.Advance(cfg.PMEMReadLatency)
+	clk.Advance(sim.MoveCostParallel(n, cfg.DeserializeBPS, over, workers, m.PMEMRead))
+	if passes > 1 {
+		extra := int64(float64(n) * (passes - 1))
+		clk.Advance(sim.MoveCostParallel(extra, cfg.DeserializeBPS, over, workers, m.DRAM))
+	}
+	if p.st.mapSync {
+		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
+		perWorker := (lines + int64(workers) - 1) / int64(workers)
+		clk.Advance(time.Duration(perWorker) * cfg.MapSyncLine)
+	}
+}
+
 // Alloc declares the final global dimensions of array id (Figure 2's
 // pmem.alloc<T>): it stores dims under id+"#dims". Ranks may all call it;
 // the first definition wins and later identical definitions are no-ops.
@@ -382,12 +442,17 @@ func (p *PMEM) Alloc(id string, dtype serial.DType, gdims []uint64) error {
 			}
 		}
 		if existing.dtype != dtype {
-			return fmt.Errorf("core: Alloc(%q) conflicts with existing type %v", id, existing.dtype)
+			return fmt.Errorf("core: Alloc(%q) conflicts with existing type %v: %w",
+				id, existing.dtype, ErrTypeMismatch)
 		}
 		return nil
 	}
 	rec := encodeDimsRecord(dtype, gdims)
-	return p.putValue(id+DimsSuffix, rec)
+	if err := p.putValue(id+DimsSuffix, rec); err != nil {
+		return err
+	}
+	p.invalidateCache(id + DimsSuffix)
+	return nil
 }
 
 // dimsRecord is the decoded id+"#dims" entry.
@@ -437,7 +502,7 @@ func (p *PMEM) loadDimsLocked(id string) (dimsRecord, error) {
 		return dimsRecord{}, err
 	}
 	if !ok {
-		return dimsRecord{}, fmt.Errorf("core: %q has no dims (Alloc not called)", id)
+		return dimsRecord{}, fmt.Errorf("core: %q has no dims (Alloc not called): %w", id, ErrNotFound)
 	}
 	return decodeDimsRecord(raw)
 }

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"errors"
+
+	"pmemcpy/internal/nd"
+)
+
+// Sentinel errors wrapped (with %w) by the failure paths of the store, so
+// callers can branch on the failure class with errors.Is instead of matching
+// message text. Package pmemcpy re-exports them as its public error surface.
+var (
+	// ErrNotFound reports that an id (or its dims companion, or any stored
+	// block of it) does not exist in the store.
+	ErrNotFound = errors.New("id not found")
+	// ErrTypeMismatch reports that an id exists but holds a different
+	// element or value type than the caller requested.
+	ErrTypeMismatch = errors.New("type mismatch")
+	// ErrOutOfBounds reports an invalid block selection: outside the
+	// array's declared extent, rank-mismatched, or backed by a buffer too
+	// small for the selection. It is nd.ErrOutOfBounds, so validation
+	// errors raised inside the index arithmetic match it too.
+	ErrOutOfBounds = nd.ErrOutOfBounds
+)

@@ -25,6 +25,9 @@ type Library struct {
 	Staged bool
 	// Parallelism is the per-rank copy-engine worker count (<=1: serial).
 	Parallelism int
+	// ReadParallelism overrides the gather-engine worker count
+	// (0: follow Parallelism; 1: serial reads).
+	ReadParallelism int
 }
 
 // Name implements pio.Library.
@@ -43,12 +46,19 @@ func (l Library) options() *Options {
 		PoolSize:            l.PoolSize,
 		StagedSerialization: l.Staged,
 		Parallelism:         l.Parallelism,
+		ReadParallelism:     l.ReadParallelism,
 	}
 }
 
 // WithParallelism implements pio.Parallelizable.
 func (l Library) WithParallelism(p int) pio.Library {
 	l.Parallelism = p
+	return l
+}
+
+// WithReadParallelism implements pio.ReadParallelizable.
+func (l Library) WithReadParallelism(p int) pio.Library {
+	l.ReadParallelism = p
 	return l
 }
 
@@ -109,8 +119,9 @@ func (s *session) Close() error {
 var (
 	_ pio.Writer         = (*session)(nil)
 	_ pio.Reader         = (*session)(nil)
-	_ pio.Library        = Library{}
-	_ pio.Parallelizable = Library{}
+	_ pio.Library            = Library{}
+	_ pio.Parallelizable     = Library{}
+	_ pio.ReadParallelizable = Library{}
 )
 
 // Handle returns the underlying PMEM for callers that need the full API.

@@ -20,6 +20,15 @@ type StoreStats struct {
 	// ParallelStores counts stores that took the sharded parallel path;
 	// ParallelBlocks counts the shard blocks those stores wrote.
 	ParallelStores, ParallelBlocks int64
+	// ReadParallelism is the configured gather-engine worker count.
+	ReadParallelism int
+	// ParallelReads counts loads that took the parallel gather path;
+	// ParallelReadJobs counts the copy jobs those loads executed.
+	ParallelReads, ParallelReadJobs int64
+	// DRAM block-index cache counters: CacheHits/CacheMisses count index
+	// lookups served from / built into DRAM; CacheInvalidations counts
+	// writer-side drops (StoreBlock, Delete, Compact, Alloc republish).
+	CacheHits, CacheMisses, CacheInvalidations int64
 }
 
 // Stats returns a snapshot of the store's metadata and allocator state.
@@ -29,11 +38,19 @@ func (p *PMEM) Stats() (StoreStats, error) {
 		return StoreStats{}, err
 	}
 	st := StoreStats{
-		Layout:         p.st.layout,
-		Keys:           len(keys),
-		Parallelism:    p.st.par,
-		ParallelStores: p.st.parallelStores.Load(),
-		ParallelBlocks: p.st.parallelBlocks.Load(),
+		Layout:           p.st.layout,
+		Keys:             len(keys),
+		Parallelism:      p.st.par,
+		ParallelStores:   p.st.parallelStores.Load(),
+		ParallelBlocks:   p.st.parallelBlocks.Load(),
+		ReadParallelism:  p.st.rpar,
+		ParallelReads:    p.st.parallelReads.Load(),
+		ParallelReadJobs: p.st.parallelReadJobs.Load(),
+	}
+	if c := p.st.cache; c != nil {
+		st.CacheHits = c.hits.Load()
+		st.CacheMisses = c.misses.Load()
+		st.CacheInvalidations = c.invalidations.Load()
 	}
 	if p.st.layout != LayoutHashtable {
 		return st, nil

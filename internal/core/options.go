@@ -1,0 +1,67 @@
+package core
+
+// MmapOption configures Mmap. Two kinds of values implement it: a *Options
+// struct (the original configuration surface — applying it overwrites every
+// field, so pre-existing call sites behave exactly as before) and the
+// functional options below, which each touch one field. Options apply in
+// argument order.
+type MmapOption interface {
+	ApplyMmapOption(*Options)
+}
+
+// ApplyMmapOption makes *Options itself an MmapOption: the whole struct is
+// the configuration. A nil *Options (the historical "defaults please"
+// argument) applies nothing.
+func (o *Options) ApplyMmapOption(dst *Options) {
+	if o != nil {
+		*dst = *o
+	}
+}
+
+// mmapOptionFunc adapts a field mutator into an MmapOption.
+type mmapOptionFunc func(*Options)
+
+func (f mmapOptionFunc) ApplyMmapOption(dst *Options) { f(dst) }
+
+// WithCodec selects the serializer ("bp4", "flat", "cbin", "raw").
+func WithCodec(name string) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.Codec = name })
+}
+
+// WithLayout selects the data layout.
+func WithLayout(l Layout) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.Layout = l })
+}
+
+// WithMapSync enables MAP_SYNC semantics on the mapping (PMCPY-B).
+func WithMapSync() MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.MapSync = true })
+}
+
+// WithPoolSize sets the pool file size for the hashtable layout.
+func WithPoolSize(n int64) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.PoolSize = n })
+}
+
+// WithBuckets sets the metadata hashtable's bucket count.
+func WithBuckets(n uint64) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.Buckets = n })
+}
+
+// WithStagedSerialization enables the staging ablation (serialize into DRAM,
+// then copy to PMEM).
+func WithStagedSerialization() MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.StagedSerialization = true })
+}
+
+// WithParallelism sets the per-rank copy-engine worker count for both the
+// write and (absent WithReadParallelism) the read path.
+func WithParallelism(k int) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.Parallelism = k })
+}
+
+// WithReadParallelism overrides the gather (read) engine's worker count
+// independently of the write engine's.
+func WithReadParallelism(k int) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.ReadParallelism = k })
+}

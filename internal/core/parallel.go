@@ -170,6 +170,7 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
 		return err
 	}
+	p.invalidateCache(id)
 	p.st.parallelStores.Add(1)
 	p.st.parallelBlocks.Add(int64(len(shards)))
 	return nil
@@ -236,6 +237,7 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) error {
 	if err := p.putValue(id, rec); err != nil {
 		return err
 	}
+	p.invalidateCache(id)
 	p.st.parallelStores.Add(1)
 	p.st.parallelBlocks.Add(int64(workers))
 	return nil

@@ -44,7 +44,7 @@ func (p *PMEM) MinMax(id string) (mn, mx float64, err error) {
 		return 0, 0, err
 	}
 	if len(blocks) == 0 {
-		return 0, 0, fmt.Errorf("core: %q has no stored blocks", id)
+		return 0, 0, fmt.Errorf("core: %q has no stored blocks: %w", id, ErrNotFound)
 	}
 	mn, mx = math.Inf(1), math.Inf(-1)
 	for _, b := range blocks {
@@ -77,22 +77,25 @@ func (p *PMEM) FindBlocks(id string, lo, hi float64) ([]BlockStats, error) {
 
 // BlockStatsOf returns per-block statistics for id. Blocks encoded with a
 // statistics-carrying codec are summarized from their headers (Skipped);
-// others are scanned.
+// others are scanned. The result is memoized in the DRAM block-index cache,
+// so repeat MinMax/FindBlocks calls touch neither the device nor the clock
+// until a mutation of id invalidates the entry.
 func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
 	if p.st.layout == LayoutHierarchy {
 		return nil, fmt.Errorf("core: block statistics require the hashtable layout")
 	}
-	rec, err := p.loadDimsLocked(id)
+	entry, ver, err := p.blockIndex(id)
 	if err != nil {
 		return nil, err
 	}
-	blocks, ok, err := p.loadBlockList(id)
-	if err != nil {
-		return nil, err
+	if !entry.hasBlocks {
+		return nil, fmt.Errorf("core: %q has no stored blocks: %w", id, ErrNotFound)
 	}
-	if !ok {
-		return nil, fmt.Errorf("core: %q has no stored blocks", id)
+	if entry.stats != nil {
+		return copyStats(entry.stats), nil
 	}
+	rec := entry.dims
+	blocks := entry.blocks
 	clk := p.comm.Clock()
 	cfg := p.node.Machine.Config()
 	sr, hasSR := p.codec.(statsReader)
@@ -127,6 +130,10 @@ func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
 		bs.Min, bs.Max, bs.HasStats = mn, mx, okScan
 		out = append(out, bs)
 	}
+	// Memoize under the version discipline: a concurrent republish makes the
+	// install a no-op. The cache keeps its own deep copy so the caller may
+	// mutate the returned slice freely.
+	p.st.cache.install(id, entry.withStats(copyStats(out)), ver)
 	return out, nil
 }
 

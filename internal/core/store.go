@@ -35,6 +35,7 @@ func (p *PMEM) Delete(id string) (bool, error) {
 	lock := p.varLock(id)
 	lock.Lock()
 	defer lock.Unlock()
+	defer p.invalidateCache(id)
 	if p.st.layout == LayoutHierarchy {
 		return p.st.hier.delete(clk, id)
 	}
@@ -159,7 +160,11 @@ func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
 	lock := p.varLock(id)
 	lock.Lock()
 	defer lock.Unlock()
-	return p.putValue(id, rec)
+	if err := p.putValue(id, rec); err != nil {
+		return err
+	}
+	p.invalidateCache(id)
+	return nil
 }
 
 // LoadDatum loads a datum stored with StoreDatum, deserializing directly
@@ -169,16 +174,25 @@ func (p *PMEM) LoadDatum(id string) (*serial.Datum, error) {
 		return p.st.hier.loadDatum(p, id)
 	}
 	clk := p.comm.Clock()
+	// The record read shares the id's lock: a concurrent republish frees the
+	// previous value record, so an unlocked Get could read freed bytes. The
+	// payload block itself is never freed by a republish (only Delete frees
+	// it), so decoding below needs no lock.
+	lock := p.varLock(id)
+	lock.RLock()
 	raw, ok, err := p.getValue(id)
+	lock.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("core: id %q not found", id)
+		return nil, fmt.Errorf("core: id %q: %w", id, ErrNotFound)
 	}
 	blk, n, err := decodeValueRef(raw)
 	if err != nil {
-		return nil, err
+		// The id exists but holds something else (a block list, raw
+		// metadata): a kind mismatch, not a missing id.
+		return nil, fmt.Errorf("core: id %q does not hold a datum: %w", id, ErrTypeMismatch)
 	}
 	src, err := p.st.pool.Slice(blk, n)
 	if err != nil {
@@ -246,7 +260,7 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 	esize := rec.dtype.Size()
 	need := int64(nd.Size(counts)) * int64(esize)
 	if int64(len(data)) < need {
-		return fmt.Errorf("core: data %d bytes, block needs %d", len(data), need)
+		return fmt.Errorf("core: data %d bytes, block needs %d: %w", len(data), need, ErrOutOfBounds)
 	}
 	d := &serial.Datum{Type: rec.dtype, Dims: counts, Payload: data[:need]}
 	if p.st.layout == LayoutHierarchy {
@@ -307,65 +321,60 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 		data:   blk,
 		encLen: int64(wrote),
 	})
-	return p.putValue(id, encodeBlockList(blocks))
+	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
+		return err
+	}
+	p.invalidateCache(id)
+	return nil
 }
 
 // LoadBlock fills dst with the block (offs, counts) of array id, gathering
 // from every stored block that intersects the request and deserializing
-// directly from PMEM.
+// directly from PMEM. The gather is planned against the DRAM block-index
+// cache (built on the first read, coherent with every mutation) and, for
+// large non-overlapping plans on a handle with read workers, executed by the
+// parallel gather engine (readplan.go).
 func (p *PMEM) LoadBlock(id string, offs, counts []uint64, dst []byte) error {
-	rec, err := p.loadDimsLocked(id)
+	if p.st.layout == LayoutHierarchy {
+		rec, err := p.loadDimsLocked(id)
+		if err != nil {
+			return err
+		}
+		if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
+			return err
+		}
+		esize := rec.dtype.Size()
+		need := int64(nd.Size(counts)) * int64(esize)
+		if int64(len(dst)) < need {
+			return fmt.Errorf("core: dst %d bytes, block needs %d: %w", len(dst), need, ErrOutOfBounds)
+		}
+		return p.st.hier.loadBlock(p, id, rec, offs, counts, dst)
+	}
+
+	entry, _, err := p.blockIndex(id)
 	if err != nil {
 		return err
 	}
+	rec := entry.dims
 	if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
 		return err
 	}
 	esize := rec.dtype.Size()
 	need := int64(nd.Size(counts)) * int64(esize)
 	if int64(len(dst)) < need {
-		return fmt.Errorf("core: dst %d bytes, block needs %d", len(dst), need)
+		return fmt.Errorf("core: dst %d bytes, block needs %d: %w", len(dst), need, ErrOutOfBounds)
 	}
-	if p.st.layout == LayoutHierarchy {
-		return p.st.hier.loadBlock(p, id, rec, offs, counts, dst)
-	}
-
-	blocks, ok, err := p.loadBlockList(id)
-	if err != nil {
+	if err := entry.checkEntry(id); err != nil {
 		return err
 	}
-	if !ok {
-		return fmt.Errorf("core: id %q has no stored blocks", id)
-	}
-	_, decPasses := p.codec.CostProfile()
-	covered := int64(0)
-	for _, b := range blocks {
-		isOffs, isCnts, okIs := nd.Intersect(offs, counts, b.offs, b.counts)
-		if !okIs {
-			continue
-		}
-		src, err := p.st.pool.Slice(b.data, b.encLen)
-		if err != nil {
-			return err
-		}
-		d, err := p.codec.Decode(src, &serial.Datum{Type: b.dtype, Dims: b.counts})
-		if err != nil {
-			return err
-		}
-		// Zero-copy decode: d.Payload aliases the mapped PMEM. One pass
-		// moves exactly the intersection into dst.
-		isBytes := int64(nd.Size(isCnts)) * int64(esize)
-		p.chargeDirectRead(isBytes, decPasses)
-		if err := nd.PlaceIntersection(dst, offs, counts, d.Payload, b.offs, b.counts,
-			isOffs, isCnts, esize); err != nil {
-			return err
-		}
-		covered += isBytes
-	}
+	jobs, covered := planGather(entry, offs, counts, esize)
 	if covered < need {
 		return fmt.Errorf("core: request on %q only covered %d of %d bytes", id, covered, need)
 	}
-	return nil
+	if p.readParallelEligible(covered) && !jobsOverlap(jobs) {
+		return p.loadJobsParallel(jobs, offs, counts, dst, esize, covered)
+	}
+	return p.loadJobsSerial(jobs, offs, counts, dst, esize)
 }
 
 // loadBlockList reads and decodes the block list stored under id.

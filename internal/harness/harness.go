@@ -46,6 +46,10 @@ type Params struct {
 	// Parallelism asks the library for this many copy workers per rank
 	// (libraries that do not implement pio.Parallelizable ignore it).
 	Parallelism int
+	// ReadParallelism asks the library for this many gather workers per rank
+	// (libraries that do not implement pio.ReadParallelizable ignore it;
+	// 0 follows Parallelism, 1 forces serial reads).
+	ReadParallelism int
 }
 
 // Result is one (library, ranks) measurement.
@@ -72,6 +76,11 @@ func Run(lib pio.Library, p Params) (Result, error) {
 	if p.Parallelism > 1 {
 		if pz, ok := lib.(pio.Parallelizable); ok {
 			lib = pz.WithParallelism(p.Parallelism)
+		}
+	}
+	if p.ReadParallelism != 0 {
+		if rp, ok := lib.(pio.ReadParallelizable); ok {
+			lib = rp.WithReadParallelism(p.ReadParallelism)
 		}
 	}
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}

@@ -6,8 +6,15 @@
 package nd
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrOutOfBounds is the sentinel wrapped by every block-selection validation
+// failure: a block reaching past its array's extent, a rank mismatch between
+// dims and offsets/counts, or a buffer too small for the selection. Callers
+// match it with errors.Is through whatever layers wrapped it.
+var ErrOutOfBounds = errors.New("selection out of bounds")
 
 // Size returns the number of elements in an array of the given dims (1 for
 // an empty dims slice, i.e. a scalar).
@@ -35,13 +42,13 @@ func Strides(dims []uint64) []uint64 {
 // an array of the given dims.
 func CheckBlock(dims, offs, counts []uint64) error {
 	if len(offs) != len(dims) || len(counts) != len(dims) {
-		return fmt.Errorf("nd: rank mismatch: dims %d, offs %d, counts %d",
-			len(dims), len(offs), len(counts))
+		return fmt.Errorf("nd: rank mismatch: dims %d, offs %d, counts %d: %w",
+			len(dims), len(offs), len(counts), ErrOutOfBounds)
 	}
 	for i := range dims {
 		if offs[i]+counts[i] > dims[i] {
-			return fmt.Errorf("nd: block [%d,%d) exceeds dim %d of extent %d",
-				offs[i], offs[i]+counts[i], i, dims[i])
+			return fmt.Errorf("nd: block [%d,%d) exceeds dim %d of extent %d: %w",
+				offs[i], offs[i]+counts[i], i, dims[i], ErrOutOfBounds)
 		}
 	}
 	return nil

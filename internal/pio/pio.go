@@ -78,3 +78,12 @@ type Parallelizable interface {
 	Library
 	WithParallelism(p int) Library
 }
+
+// ReadParallelizable is implemented by libraries whose reads can fan out over
+// worker goroutines within one rank (pMEMCPY's gather engine).
+// WithReadParallelism returns a copy configured to use p gather workers per
+// rank; p == 1 forces serial reads and p == 0 follows the write parallelism.
+type ReadParallelizable interface {
+	Library
+	WithReadParallelism(p int) Library
+}

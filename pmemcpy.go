@@ -134,10 +134,58 @@ const (
 // DimsSuffix is the key suffix under which array dimensions are stored.
 const DimsSuffix = core.DimsSuffix
 
+// Error sentinels. Every error returned by the library that stems from one of
+// these conditions wraps the sentinel, so callers dispatch with errors.Is
+// instead of string matching:
+//
+//	if errors.Is(err, pmemcpy.ErrNotFound) { ... }
+var (
+	// ErrNotFound reports that an id (or its stored blocks) does not exist.
+	ErrNotFound = core.ErrNotFound
+	// ErrTypeMismatch reports that an id holds a different kind or element
+	// type of value than the call requested.
+	ErrTypeMismatch = core.ErrTypeMismatch
+	// ErrOutOfBounds reports a block selection outside the array's declared
+	// extent (or a rank mismatch against it).
+	ErrOutOfBounds = core.ErrOutOfBounds
+)
+
+// MmapOption configures Mmap. A *Options struct is itself an MmapOption (the
+// original configuration surface), and the With* functional options below
+// each adjust one field; options apply in argument order.
+type MmapOption = core.MmapOption
+
+// Functional Mmap options, re-exported from the core.
+var (
+	// WithCodec selects the serializer ("bp4", "flat", "cbin", "raw").
+	WithCodec = core.WithCodec
+	// WithLayout selects the data layout.
+	WithLayout = core.WithLayout
+	// WithMapSync enables MAP_SYNC semantics (the PMCPY-B configuration).
+	WithMapSync = core.WithMapSync
+	// WithPoolSize sets the pool file size for the hashtable layout.
+	WithPoolSize = core.WithPoolSize
+	// WithBuckets sets the metadata hashtable's bucket count.
+	WithBuckets = core.WithBuckets
+	// WithStagedSerialization enables the DRAM-staging ablation.
+	WithStagedSerialization = core.WithStagedSerialization
+	// WithParallelism sets the per-rank copy-engine worker count.
+	WithParallelism = core.WithParallelism
+	// WithReadParallelism sets the gather engine's worker count independently
+	// of the write engine's (0 follows WithParallelism, 1 forces serial).
+	WithReadParallelism = core.WithReadParallelism
+)
+
 // Mmap opens (creating if necessary) the pMEMCPY store at path. Collective:
-// every rank calls it with the same arguments.
-func Mmap(c *Comm, n *Node, path string, opts *Options) (*PMEM, error) {
-	return core.Mmap(c, n, path, opts)
+// every rank calls it with the same arguments. Configuration is optional —
+// pass nothing for the paper's evaluated defaults, a *Options struct (the
+// historical surface; nil is accepted and means defaults), or any combination
+// of functional options:
+//
+//	pm, err := pmemcpy.Mmap(c, n, "/data.pool",
+//		pmemcpy.WithMapSync(), pmemcpy.WithParallelism(8))
+func Mmap(c *Comm, n *Node, path string, opts ...MmapOption) (*PMEM, error) {
+	return core.Mmap(c, n, path, opts...)
 }
 
 // Scalar is the set of element types storable in arrays and scalars.
@@ -202,7 +250,7 @@ func Load[T Scalar](p *PMEM, id string) (T, error) {
 	}
 	want := dtypeOf[T]()
 	if d.Type != want && d.Type.Size() != want.Size() {
-		return zero, fmt.Errorf("pmemcpy: id %q holds %v, requested %v", id, d.Type, want)
+		return zero, fmt.Errorf("pmemcpy: id %q holds %v, requested %v: %w", id, d.Type, want, ErrTypeMismatch)
 	}
 	vals := bytesview.OfCopy[T](d.Payload)
 	if len(vals) == 0 {
@@ -223,7 +271,7 @@ func LoadString(p *PMEM, id string) (string, error) {
 		return "", err
 	}
 	if d.Type != serial.String {
-		return "", fmt.Errorf("pmemcpy: id %q holds %v, not a string", id, d.Type)
+		return "", fmt.Errorf("pmemcpy: id %q holds %v, not a string: %w", id, d.Type, ErrTypeMismatch)
 	}
 	return string(d.Payload), nil
 }
@@ -351,7 +399,7 @@ func LoadStruct(p *PMEM, id string, out any) error {
 		return err
 	}
 	if d.Type != serial.Bytes {
-		return fmt.Errorf("pmemcpy: id %q holds %v, not a structured value", id, d.Type)
+		return fmt.Errorf("pmemcpy: id %q holds %v, not a structured value: %w", id, d.Type, ErrTypeMismatch)
 	}
 	return serial.UnmarshalStruct(d.Payload, out)
 }

@@ -1,0 +1,185 @@
+package pmemcpy_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pmemcpy"
+)
+
+// TestArrayRoundTrip exercises the typed-handle surface end to end against
+// the free functions it wraps.
+func TestArrayRoundTrip(t *testing.T) {
+	single(t, func(p *pmemcpy.PMEM) error {
+		a, err := pmemcpy.CreateArray[float64](p, "T", 8, 8)
+		if err != nil {
+			return err
+		}
+		if a.ID() != "T" {
+			return fmt.Errorf("ID = %q", a.ID())
+		}
+		data := make([]float64, 64)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		if err := a.Store(data, []uint64{0, 0}, []uint64{8, 8}); err != nil {
+			return err
+		}
+		dims, err := a.Dims()
+		if err != nil || len(dims) != 2 || dims[0] != 8 || dims[1] != 8 {
+			return fmt.Errorf("Dims = %v, %v", dims, err)
+		}
+		// A 2x2 corner through the typed handle.
+		got := make([]float64, 4)
+		if err := a.Load(got, []uint64{6, 6}, []uint64{2, 2}); err != nil {
+			return err
+		}
+		want := []float64{54, 55, 62, 63}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("Load corner = %v, want %v", got, want)
+			}
+		}
+		mn, mx, err := a.MinMax()
+		if err != nil || mn != 0 || mx != 63 {
+			return fmt.Errorf("MinMax = %v, %v, %v", mn, mx, err)
+		}
+		all, dims2, err := a.All()
+		if err != nil || len(all) != 64 || dims2[0] != 8 {
+			return fmt.Errorf("All: len=%d dims=%v err=%v", len(all), dims2, err)
+		}
+		// The same data is visible through the free functions — Array is a
+		// binding, not a separate namespace.
+		free := make([]float64, 64)
+		if err := pmemcpy.LoadSub(p, "T", free, []uint64{0, 0}, []uint64{8, 8}); err != nil {
+			return err
+		}
+		if free[63] != 63 {
+			return fmt.Errorf("free-function read = %v", free[63])
+		}
+		return nil
+	})
+}
+
+// TestOpenArraySentinels pins OpenArray's error taxonomy.
+func TestOpenArraySentinels(t *testing.T) {
+	single(t, func(p *pmemcpy.PMEM) error {
+		if _, err := pmemcpy.OpenArray[float64](p, "ghost"); !errors.Is(err, pmemcpy.ErrNotFound) {
+			t.Errorf("OpenArray(missing): err = %v, want ErrNotFound", err)
+		}
+		if err := pmemcpy.Alloc[float64](p, "A", 16); err != nil {
+			return err
+		}
+		if _, err := pmemcpy.OpenArray[float64](p, "A"); err != nil {
+			t.Errorf("OpenArray(declared): err = %v", err)
+		}
+		if _, err := pmemcpy.OpenArray[float32](p, "A"); !errors.Is(err, pmemcpy.ErrTypeMismatch) {
+			t.Errorf("OpenArray(wrong type): err = %v, want ErrTypeMismatch", err)
+		}
+		return nil
+	})
+}
+
+// TestSentinelsAcrossAPI asserts that errors surfaced by the historical free
+// functions dispatch with errors.Is against the exported sentinels.
+func TestSentinelsAcrossAPI(t *testing.T) {
+	single(t, func(p *pmemcpy.PMEM) error {
+		// Not found: scalars, dims, block reads.
+		if _, err := pmemcpy.Load[int64](p, "ghost"); !errors.Is(err, pmemcpy.ErrNotFound) {
+			t.Errorf("Load(missing): err = %v, want ErrNotFound", err)
+		}
+		if _, err := pmemcpy.LoadDims(p, "ghost"); !errors.Is(err, pmemcpy.ErrNotFound) {
+			t.Errorf("LoadDims(missing): err = %v, want ErrNotFound", err)
+		}
+
+		// Type mismatch: a string is not an int64, a scalar is not a struct.
+		if err := pmemcpy.StoreString(p, "s", "hello"); err != nil {
+			return err
+		}
+		if _, err := pmemcpy.Load[int64](p, "s"); !errors.Is(err, pmemcpy.ErrTypeMismatch) {
+			t.Errorf("Load(string id): err = %v, want ErrTypeMismatch", err)
+		}
+		if _, err := pmemcpy.LoadString(p, "s"); err != nil {
+			return err
+		}
+		if err := pmemcpy.Store(p, "n", int64(1)); err != nil {
+			return err
+		}
+		if _, err := pmemcpy.LoadString(p, "n"); !errors.Is(err, pmemcpy.ErrTypeMismatch) {
+			t.Errorf("LoadString(scalar id): err = %v, want ErrTypeMismatch", err)
+		}
+		var out struct{ X int64 }
+		if err := pmemcpy.LoadStruct(p, "n", &out); !errors.Is(err, pmemcpy.ErrTypeMismatch) {
+			t.Errorf("LoadStruct(scalar id): err = %v, want ErrTypeMismatch", err)
+		}
+
+		// Out of bounds: selections past the declared extent.
+		if err := pmemcpy.StoreSlice(p, "arr", []float64{1, 2, 3, 4}, 4); err != nil {
+			return err
+		}
+		dst := make([]float64, 4)
+		if err := pmemcpy.LoadSub(p, "arr", dst, []uint64{2}, []uint64{3}); !errors.Is(err, pmemcpy.ErrOutOfBounds) {
+			t.Errorf("LoadSub(past extent): err = %v, want ErrOutOfBounds", err)
+		}
+		if err := pmemcpy.StoreSub(p, "arr", dst, []uint64{3}, []uint64{2}); !errors.Is(err, pmemcpy.ErrOutOfBounds) {
+			t.Errorf("StoreSub(past extent): err = %v, want ErrOutOfBounds", err)
+		}
+		return nil
+	})
+}
+
+// TestMmapFunctionalOptions checks the three Mmap calling conventions
+// compile and agree: no options, the historical *Options (including nil),
+// and functional options.
+func TestMmapFunctionalOptions(t *testing.T) {
+	n := newNode()
+	_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
+		// Functional options. Pool sizes are pinned so four pools fit the
+		// test device.
+		p, err := pmemcpy.Mmap(c, n, "/fo.pool", pmemcpy.WithPoolSize(8<<20),
+			pmemcpy.WithCodec("raw"), pmemcpy.WithReadParallelism(4))
+		if err != nil {
+			return err
+		}
+		if p.CodecName() != "raw" {
+			return fmt.Errorf("CodecName = %q, want raw", p.CodecName())
+		}
+		if err := p.Munmap(); err != nil {
+			return err
+		}
+		// Untouched fields keep their defaults.
+		p, err = pmemcpy.Mmap(c, n, "/fo2.pool", pmemcpy.WithPoolSize(8<<20))
+		if err != nil {
+			return err
+		}
+		if p.CodecName() != "bp4" {
+			return fmt.Errorf("default CodecName = %q, want bp4", p.CodecName())
+		}
+		if err := p.Munmap(); err != nil {
+			return err
+		}
+		// Historical surface: a nil *Options means defaults; a struct and a
+		// trailing functional option compose, options applying in order.
+		p, err = pmemcpy.Mmap(c, n, "/fo3.pool", (*pmemcpy.Options)(nil),
+			pmemcpy.WithPoolSize(8<<20))
+		if err != nil {
+			return err
+		}
+		if err := p.Munmap(); err != nil {
+			return err
+		}
+		p, err = pmemcpy.Mmap(c, n, "/fo4.pool",
+			&pmemcpy.Options{Codec: "flat", PoolSize: 8 << 20}, pmemcpy.WithParallelism(2))
+		if err != nil {
+			return err
+		}
+		if p.CodecName() != "flat" {
+			return fmt.Errorf("composed CodecName = %q, want flat", p.CodecName())
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
