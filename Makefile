@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults fuzz bench clean
 
 all: tier1
 
@@ -19,15 +19,23 @@ vet:
 
 tier1: build vet test
 
-# verify is the pre-merge checklist: the tier-1 gate plus the race detector.
-verify: tier1 race
+# verify is the pre-merge checklist: the tier-1 gate, the race detector, and
+# the fault-injection suite.
+verify: tier1 race faults
+
+# Fault-injection suite: the crash-point explorer smoke workloads (every
+# reached persist point crash-tested, clean and torn) plus the differential
+# property tests and the explorer-hosted crash matrices under -race.
+faults:
+	$(GO) run ./cmd/pmembench -faults
+	$(GO) test -race -timeout 20m -run 'TestExplore|TestCrash|TestDifferential|TestBlockcache|TestPersistPoint' ./internal/core/
 
 # Full suite under the race detector. The concurrency stress tests
 # (internal/pmdk/concurrent_test.go, internal/core/concurrent_test.go) only
 # have teeth with -race, so this target is part of the review checklist for
 # allocator or copy-engine changes.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Short real fuzzing runs for every fuzz target. The seed corpora also run
 # as part of `make test`; this target additionally mutates for a few

@@ -47,8 +47,13 @@ func main() {
 		pattern   = flag.String("pattern", "same", "read access pattern: same | restart | plane")
 		readprocs = flag.Int("readprocs", 0, "reader count for the restart pattern (0 = same as writers)")
 		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+		faults    = flag.Bool("faults", false, "run the fault-injection smoke suite instead of benchmarks")
 	)
 	flag.Parse()
+
+	if *faults {
+		os.Exit(runFaults())
+	}
 
 	rankCounts, err := parseProcs(*procs)
 	if err != nil {

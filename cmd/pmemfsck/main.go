@@ -3,34 +3,59 @@
 // power failure after every possible persist point, recovers the pool, and
 // checks the recovered state against the set of states the undo-log protocol
 // permits (atomicity: committed data intact, uncommitted data absent or
-// fully rolled back).
+// fully rolled back). Every recovered pool additionally passes the
+// structural checker (internal/fsck) — allocator, lane, and hashtable
+// invariants.
+//
+// With -fsck it instead acts as a plain filesystem-checker: build a pool,
+// verify its structural invariants, and report the first violated one
+// (nonzero exit) if the pool is corrupt. -corrupt deliberately tears a
+// metadata record first, to demonstrate — and regression-test — detection.
 //
 // Examples:
 //
 //	pmemfsck                 # sweep all crash points, all adversary modes
 //	pmemfsck -mode random -seed 7
 //	pmemfsck -v              # report every crash point's outcome
+//	pmemfsck -fsck           # structural check of a clean pool
+//	pmemfsck -fsck -corrupt  # ...of a pool with a torn metadata record
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
+	"pmemcpy/internal/fsck"
 	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("pmemfsck", flag.ContinueOnError)
 	var (
-		mode    = flag.String("mode", "all", `crash adversary: "loseall", "keepall", "random", or "all"`)
-		seed    = flag.Int64("seed", 1, "seed for the random adversary")
-		verbose = flag.Bool("v", false, "report every crash point")
+		mode    = fs.String("mode", "all", `crash adversary: "loseall", "keepall", "random", or "all"`)
+		seed    = fs.Int64("seed", 1, "seed for the random adversary")
+		verbose = fs.Bool("v", false, "report every crash point")
+		check   = fs.Bool("fsck", false, "structural check mode: build a pool and verify its invariants")
+		corrupt = fs.Bool("corrupt", false, "with -fsck: tear a metadata record before checking")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *check {
+		return runFsck(w, *corrupt)
+	}
 
 	modes := map[string][]pmem.CrashMode{
 		"loseall": {pmem.CrashLoseAll},
@@ -39,22 +64,103 @@ func main() {
 		"all":     {pmem.CrashLoseAll, pmem.CrashKeepAll, pmem.CrashRandom},
 	}[*mode]
 	if modes == nil {
-		fmt.Fprintf(os.Stderr, "pmemfsck: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(w, "pmemfsck: unknown mode %q\n", *mode)
+		return 2
 	}
 
 	total, failures := 0, 0
 	for _, m := range modes {
-		points, bad := sweep(m, *seed, *verbose)
-		fmt.Printf("mode %-8v: %3d crash points checked, %d violations\n", modeName(m), points, bad)
+		points, bad := sweep(w, m, *seed, *verbose)
+		fmt.Fprintf(w, "mode %-8v: %3d crash points checked, %d violations\n", modeName(m), points, bad)
 		total += points
 		failures += bad
 	}
 	if failures > 0 {
-		fmt.Printf("FAIL: %d of %d crash points violated consistency\n", failures, total)
-		os.Exit(1)
+		fmt.Fprintf(w, "FAIL: %d of %d crash points violated consistency\n", failures, total)
+		return 1
 	}
-	fmt.Printf("OK: all %d crash points recovered to consistent states\n", total)
+	fmt.Fprintf(w, "OK: all %d crash points recovered to consistent states\n", total)
+	return 0
+}
+
+// buildPool formats a small pool with a published hashtable of a few keys,
+// the way core.Mmap lays a store out.
+func buildPool() (*pmem.Mapping, *pmdk.Hashtable, *sim.Clock, error) {
+	machine := sim.NewMachine(sim.DefaultConfig())
+	machine.SetConcurrency(1)
+	dev := pmem.New(machine, 4<<20)
+	mp, err := pmem.NewMapping(dev, 0, 4<<20, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	clk := new(sim.Clock)
+	pool, err := pmdk.Create(clk, mp, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tx, err := pool.Begin(clk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	htID, err := pmdk.CreateHashtable(tx, 64)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	root, _ := pool.Root()
+	if err := tx.WriteU64(root, uint64(htID)); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, nil, nil, err
+	}
+	ht, err := pmdk.OpenHashtable(clk, pool, htID)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 0; i < 8; i++ {
+		if err := ht.Put(clk, []byte(fmt.Sprintf("var-%d", i)), []byte("payload")); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return mp, ht, clk, nil
+}
+
+// runFsck builds a pool (optionally tearing one metadata record) and runs the
+// structural checker, reporting the first violated invariant.
+func runFsck(w io.Writer, corrupt bool) int {
+	mp, ht, clk, err := buildPool()
+	if err != nil {
+		fmt.Fprintf(w, "pmemfsck: building pool: %v\n", err)
+		return 2
+	}
+	if corrupt {
+		// Tear one key's metadata: scribble the state word of its value
+		// block's header, as a torn cacheline across the header boundary
+		// would.
+		vid, _, ok, err := ht.GetRef(clk, []byte("var-3"))
+		if err != nil || !ok {
+			fmt.Fprintf(w, "pmemfsck: locating record to corrupt: %v\n", err)
+			return 2
+		}
+		s, err := mp.Slice(int64(vid)-8, 8)
+		if err != nil {
+			fmt.Fprintf(w, "pmemfsck: %v\n", err)
+			return 2
+		}
+		binary.LittleEndian.PutUint64(s, 0x7042)
+		fmt.Fprintf(w, "tore metadata record of \"var-3\"\n")
+	}
+	rep, err := fsck.Check(clk, mp)
+	if err != nil {
+		fmt.Fprintf(w, "pmemfsck: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(w, "%s\n", rep.Summary())
+	if !rep.OK() {
+		fmt.Fprintf(w, "first violated invariant: %s\n", rep.First())
+		return 1
+	}
+	return 0
 }
 
 func modeName(m pmem.CrashMode) string {
@@ -70,20 +176,20 @@ func modeName(m pmem.CrashMode) string {
 
 // sweep runs the update+insert workload, crashing after the k-th persist for
 // every k until the workload completes without injection firing.
-func sweep(mode pmem.CrashMode, seed int64, verbose bool) (points, violations int) {
+func sweep(w io.Writer, mode pmem.CrashMode, seed int64, verbose bool) (points, violations int) {
 	rng := rand.New(rand.NewSource(seed))
 	for k := int64(0); ; k++ {
 		points++
-		completed, err := crashPoint(mode, k, rng, verbose)
+		completed, err := crashPoint(w, mode, k, rng, verbose)
 		if err != nil {
 			violations++
-			fmt.Printf("  k=%d: VIOLATION: %v\n", k, err)
+			fmt.Fprintf(w, "  k=%d: VIOLATION: %v\n", k, err)
 		}
 		if completed {
 			return points, violations
 		}
 		if k > 5000 {
-			fmt.Println("  sweep did not terminate (workload never completes)")
+			fmt.Fprintln(w, "  sweep did not terminate (workload never completes)")
 			violations++
 			return points, violations
 		}
@@ -92,8 +198,8 @@ func sweep(mode pmem.CrashMode, seed int64, verbose bool) (points, violations in
 
 // crashPoint builds a fresh pool with two committed keys, then (under
 // injection) updates one and inserts another, crashes, recovers, and checks
-// the permitted states.
-func crashPoint(mode pmem.CrashMode, k int64, rng *rand.Rand, verbose bool) (completed bool, err error) {
+// the permitted states plus the structural invariants.
+func crashPoint(w io.Writer, mode pmem.CrashMode, k int64, rng *rand.Rand, verbose bool) (completed bool, err error) {
 	machine := sim.NewMachine(sim.DefaultConfig())
 	machine.SetConcurrency(1)
 	dev := pmem.New(machine, 16<<20, pmem.WithCrashTracking())
@@ -146,6 +252,16 @@ func crashPoint(mode pmem.CrashMode, k int64, rng *rand.Rand, verbose bool) (com
 	}
 
 	dev.Crash(mode, rng)
+
+	// Structural pass first — the same checker the crash-point explorer runs.
+	rep, err := fsck.Check(clk, mp)
+	if err != nil {
+		return completed, fmt.Errorf("fsck: %w", err)
+	}
+	if !rep.OK() {
+		return completed, fmt.Errorf("fsck: %s", rep.Summary())
+	}
+
 	pool2, err := pmdk.Open(clk, mp)
 	if err != nil {
 		return completed, fmt.Errorf("recovery failed: %w", err)
@@ -189,7 +305,7 @@ func crashPoint(mode pmem.CrashMode, k int64, rng *rand.Rand, verbose bool) (com
 	}
 	if verbose {
 		st := pool2.Stats()
-		fmt.Printf("  k=%-4d recovered=%d completed=%v\n", k, st.Recovered, completed)
+		fmt.Fprintf(w, "  k=%-4d recovered=%d completed=%v\n", k, st.Recovered, completed)
 	}
 	return completed, nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFsckCleanPoolExitsZero(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-fsck"}, &out); code != 0 {
+		t.Fatalf("exit %d on a clean pool, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "pool clean") {
+		t.Fatalf("output missing clean summary:\n%s", out.String())
+	}
+}
+
+// TestFsckTornMetadataRecord is the regression for the corrupt-pool path: a
+// deliberately torn metadata record must produce a nonzero exit and name the
+// first violated invariant.
+func TestFsckTornMetadataRecord(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-fsck", "-corrupt"}, &out); code != 1 {
+		t.Fatalf("exit %d on a corrupt pool (want 1), output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "first violated invariant: ht.value") {
+		t.Fatalf("output does not name the violated invariant:\n%s", out.String())
+	}
+}
+
+func TestUnknownModeExitsTwo(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-mode", "nonsense"}, &out); code != 2 {
+		t.Fatalf("exit %d on unknown mode (want 2)", code)
+	}
+}
+
+// TestSweepModeStillPasses pins the original sweep behavior end to end on
+// one adversary (the full matrix runs in CI via the binary / make verify).
+func TestSweepModeStillPasses(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-mode", "loseall"}, &out); code != 0 {
+		t.Fatalf("sweep failed (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: all") {
+		t.Fatalf("sweep output:\n%s", out.String())
+	}
+}

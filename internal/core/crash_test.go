@@ -2,303 +2,138 @@ package core_test
 
 import (
 	"errors"
-	"math/rand"
+	"fmt"
 	"testing"
 
-	"pmemcpy/internal/bytesview"
 	"pmemcpy/internal/core"
-	"pmemcpy/internal/mpi"
-	"pmemcpy/internal/node"
 	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/serial"
-	"pmemcpy/internal/sim"
 )
 
-// TestCrashSweepStoreBlock injects a power failure after every possible
-// persist point while a committed array is being overwritten, then reopens
-// the store (running PMDK recovery) and checks the end-to-end guarantee:
-// the variable reads back as entirely old data or entirely new data — a
-// torn mix would mean the publish protocol (persist payload, then publish
-// the block transactionally) is broken somewhere in the stack.
-func TestCrashSweepStoreBlock(t *testing.T) {
-	const elems = 512
-	rng := rand.New(rand.NewSource(99))
-	makeVals := func(v float64) []float64 {
-		vals := make([]float64, elems)
-		for i := range vals {
-			vals[i] = v
-		}
-		return vals
-	}
+// The PR 1/2 crash matrices, re-hosted on the crash-point explorer: instead
+// of sweeping an opaque fail-after-k counter until the workload happens to
+// complete, the explorer enumerates the exact persist trace once and then
+// crash-tests every persist point by name — and every recovered state also
+// passes the pmemfsck structural checks and the core metadata invariants,
+// which the hand-rolled sweeps never looked at.
 
-	for k := int64(0); ; k++ {
-		n := node.New(sim.DefaultConfig(), 32<<20,
-			node.WithDeviceOptions(pmem.WithCrashTracking()))
-		n.Machine.SetConcurrency(1)
-
-		// Committed baseline: A = all 1s.
-		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/c.pool", nil)
+// overwriteScript is the classic sweep workload: a committed all-1s array is
+// overwritten with all-2s; any recovered state must read back entirely old or
+// entirely new.
+func overwriteScript(name string, elems int, opts *core.Options) core.Script {
+	return core.Script{
+		Name:    name,
+		DevSize: 32 << 20,
+		Options: opts,
+		Setup: func(p *core.PMEM) error {
+			if err := p.Alloc("A", serial.Float64, []uint64{uint64(elems)}); err != nil {
+				return err
+			}
+			return p.StoreBlock("A", []uint64{0}, []uint64{uint64(elems)},
+				uniformF64(elems, 1))
+		},
+		Run: func(p *core.PMEM) error {
+			return p.StoreBlock("A", []uint64{0}, []uint64{uint64(elems)},
+				uniformF64(elems, 2))
+		},
+		Verify: func(p *core.PMEM) error {
+			v, err := loadUniformF64(p, "A", elems)
 			if err != nil {
 				return err
 			}
-			if err := p.Alloc("A", serial.Float64, []uint64{elems}); err != nil {
-				return err
-			}
-			return p.StoreBlock("A", []uint64{0}, []uint64{elems},
-				bytesview.Bytes(makeVals(1)))
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-
-		// Injected overwrite: A = all 2s, power failing after k persists.
-		var completed bool
-		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/c.pool", nil)
-			if err != nil {
-				return err
-			}
-			n.Device.FailAfterPersists(k)
-			serr := p.StoreBlock("A", []uint64{0}, []uint64{elems},
-				bytesview.Bytes(makeVals(2)))
-			completed = serr == nil
-			if serr != nil && !errors.Is(serr, pmem.ErrFailed) {
-				t.Errorf("k=%d: unexpected store error: %v", k, serr)
+			if v != 1 && v != 2 {
+				return fmt.Errorf("A = all %g, want 1 or 2", v)
 			}
 			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-
-		n.Device.Crash(pmem.CrashRandom, rng)
-
-		// Recover and check atomicity.
-		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/c.pool", nil)
+		},
+		VerifyDone: func(p *core.PMEM) error {
+			v, err := loadUniformF64(p, "A", elems)
 			if err != nil {
 				return err
 			}
-			dst := make([]byte, elems*8)
-			if err := p.LoadBlock("A", []uint64{0}, []uint64{elems}, dst); err != nil {
-				return err
+			if v != 2 {
+				return fmt.Errorf("committed overwrite lost (A = all %g)", v)
 			}
-			vals := bytesview.OfCopy[float64](dst)
-			first := vals[0]
-			if first != 1 && first != 2 {
-				t.Errorf("k=%d: A[0] = %g, want 1 or 2", k, first)
-			}
-			for i, v := range vals {
-				if v != first {
-					t.Errorf("k=%d: torn overwrite: A[0]=%g but A[%d]=%g", k, first, i, v)
-					break
-				}
-			}
-			if completed && first != 2 {
-				t.Errorf("k=%d: committed overwrite lost (A = all %g)", k, first)
-			}
-			return p.Munmap()
-		})
-		if err != nil {
-			t.Fatalf("k=%d: recovery failed: %v", k, err)
-		}
-
-		if completed {
-			return // swept every crash point
-		}
-		if k > 3000 {
-			t.Fatal("crash sweep did not terminate")
-		}
+			return nil
+		},
 	}
 }
 
-// TestCrashDuringAlloc sweeps failures through the dims declaration: after
+// TestCrashSweepStoreBlock crash-tests every persist point of a serial block
+// overwrite under the lose-all, random, and torn-store adversaries. The
+// end-to-end guarantee: the variable reads back as entirely old or entirely
+// new data — a torn mix would mean the publish protocol (persist payload,
+// then publish the block transactionally) is broken somewhere in the stack.
+func TestCrashSweepStoreBlock(t *testing.T) {
+	runExplore(t, overwriteScript("sweep-store-block", 512, nil),
+		core.ExploreOptions{Seed: 99, Tear: true})
+}
+
+// TestCrashDuringAlloc explores failures through the dims declaration: after
 // recovery the id either has valid dims or none.
 func TestCrashDuringAlloc(t *testing.T) {
-	for k := int64(0); ; k++ {
-		n := node.New(sim.DefaultConfig(), 32<<20,
-			node.WithDeviceOptions(pmem.WithCrashTracking()))
-		n.Machine.SetConcurrency(1)
-		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			_, err := core.Mmap(c, n, "/a.pool", nil)
-			return err
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-
-		var completed bool
-		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/a.pool", nil)
+	s := core.Script{
+		Name:    "alloc",
+		DevSize: 32 << 20,
+		Run: func(p *core.PMEM) error {
+			return p.Alloc("V", serial.Float64, []uint64{4, 4})
+		},
+		Verify: func(p *core.PMEM) error {
+			dt, dims, err := p.LoadDims("V")
 			if err != nil {
+				if errors.Is(err, core.ErrNotFound) {
+					return nil // declaration did not commit
+				}
 				return err
 			}
-			n.Device.FailAfterPersists(k)
-			aerr := p.Alloc("V", serial.Float64, []uint64{4, 4})
-			completed = aerr == nil
-			if aerr != nil && !errors.Is(aerr, pmem.ErrFailed) {
-				t.Errorf("k=%d: unexpected alloc error: %v", k, aerr)
+			if dt != serial.Float64 || len(dims) != 2 || dims[0] != 4 || dims[1] != 4 {
+				return fmt.Errorf("recovered dims corrupt: %v %v", dt, dims)
 			}
 			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		n.Device.Crash(pmem.CrashLoseAll, nil)
+		},
+	}
+	runExplore(t, s, core.ExploreOptions{
+		Modes: []pmem.CrashMode{pmem.CrashLoseAll},
+		Tear:  true,
+	})
+}
 
-		_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/a.pool", nil)
+// TestCrashMatrixParallelStore extends the overwrite matrix to the sharded
+// copy engine: a payload above the parallel threshold is overwritten with
+// Parallelism workers, every persist point is crash-tested under each cache
+// adversary plus the torn-store variant, and the recovered variable must read
+// back as entirely old or entirely new data. A torn mix — some shards new,
+// some old, or a block list pointing at half a batch — would mean the
+// single-publish protocol (one transaction allocates all shards, one putValue
+// links them) is broken. The serial row pins the same matrix on the
+// non-sharded path.
+func TestCrashMatrixParallelStore(t *testing.T) {
+	const elems = 32768 // 256 KB payload: exactly the parallel-path threshold
+	allModes := []pmem.CrashMode{pmem.CrashLoseAll, pmem.CrashKeepAll, pmem.CrashRandom}
+	t.Run("serial", func(t *testing.T) {
+		// The serial path already gets the loseall/random/torn sweep at small
+		// size in TestCrashSweepStoreBlock; this row pins the threshold-sized
+		// payload under the remaining adversary (keep-all catches data that
+		// became visible before its commit fence).
+		runExplore(t, overwriteScript("matrix-serial", elems, &core.Options{Parallelism: 1}),
+			core.ExploreOptions{Seed: 4242, Modes: []pmem.CrashMode{pmem.CrashKeepAll}})
+	})
+	t.Run("parallel", func(t *testing.T) {
+		s := overwriteScript("matrix-parallel", elems, &core.Options{Parallelism: 4})
+		inner := s.VerifyDone
+		s.VerifyDone = func(p *core.PMEM) error {
+			if err := inner(p); err != nil {
+				return err
+			}
+			st, err := p.Stats()
 			if err != nil {
 				return err
 			}
-			dt, dims, derr := p.LoadDims("V")
-			if derr == nil {
-				if dt != serial.Float64 || len(dims) != 2 || dims[0] != 4 || dims[1] != 4 {
-					t.Errorf("k=%d: recovered dims corrupt: %v %v", k, dt, dims)
-				}
-			} else if completed {
-				t.Errorf("k=%d: committed Alloc lost: %v", k, derr)
+			if st.ParallelStores == 0 {
+				return fmt.Errorf("store took the serial path despite Parallelism=4")
 			}
-			return p.Munmap()
-		})
-		if err != nil {
-			t.Fatalf("k=%d: recovery failed: %v", k, err)
+			return nil
 		}
-		if completed {
-			return
-		}
-		if k > 1000 {
-			t.Fatal("alloc crash sweep did not terminate")
-		}
-	}
-}
-
-// TestCrashMatrixParallelStore extends the overwrite sweep to the sharded
-// copy engine: a payload above the parallel threshold is overwritten with
-// Parallelism workers, the power fails after every possible persist point
-// under each crash adversary, and the recovered variable must read back as
-// entirely old or entirely new data. A torn mix — some shards new, some old,
-// or a block list pointing at half a batch — would mean the single-publish
-// protocol (one transaction allocates all shards, one putValue links them)
-// is broken. The serial rows pin the same matrix on the non-sharded path.
-func TestCrashMatrixParallelStore(t *testing.T) {
-	const elems = 32768 // 256 KB payload: exactly the parallel-path threshold
-	makeVals := func(v float64) []float64 {
-		vals := make([]float64, elems)
-		for i := range vals {
-			vals[i] = v
-		}
-		return vals
-	}
-	cases := []struct {
-		name string
-		par  int
-		mode pmem.CrashMode
-	}{
-		{"serial/loseall", 1, pmem.CrashLoseAll},
-		{"serial/keepall", 1, pmem.CrashKeepAll},
-		{"serial/random", 1, pmem.CrashRandom},
-		{"parallel/loseall", 4, pmem.CrashLoseAll},
-		{"parallel/keepall", 4, pmem.CrashKeepAll},
-		{"parallel/random", 4, pmem.CrashRandom},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(4242))
-			opts := func() *core.Options { return &core.Options{Parallelism: tc.par} }
-			for k := int64(0); ; k++ {
-				n := node.New(sim.DefaultConfig(), 32<<20,
-					node.WithDeviceOptions(pmem.WithCrashTracking()))
-				n.Machine.SetConcurrency(1)
-
-				// Committed baseline: A = all 1s.
-				_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-					p, err := core.Mmap(c, n, "/m.pool", opts())
-					if err != nil {
-						return err
-					}
-					if err := p.Alloc("A", serial.Float64, []uint64{elems}); err != nil {
-						return err
-					}
-					if err := p.StoreBlock("A", []uint64{0}, []uint64{elems},
-						bytesview.Bytes(makeVals(1))); err != nil {
-						return err
-					}
-					if tc.par > 1 {
-						st, err := p.Stats()
-						if err != nil {
-							return err
-						}
-						if st.ParallelStores == 0 {
-							t.Fatalf("k=%d: store took the serial path despite Parallelism=%d", k, tc.par)
-						}
-					}
-					return nil
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-
-				// Injected overwrite: A = all 2s, power failing after k persists.
-				var completed bool
-				_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-					p, err := core.Mmap(c, n, "/m.pool", opts())
-					if err != nil {
-						return err
-					}
-					n.Device.FailAfterPersists(k)
-					serr := p.StoreBlock("A", []uint64{0}, []uint64{elems},
-						bytesview.Bytes(makeVals(2)))
-					completed = serr == nil
-					if serr != nil && !errors.Is(serr, pmem.ErrFailed) {
-						t.Errorf("k=%d: unexpected store error: %v", k, serr)
-					}
-					return nil
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-
-				n.Device.Crash(tc.mode, rng)
-
-				// Recover and check all-or-nothing visibility.
-				_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-					p, err := core.Mmap(c, n, "/m.pool", opts())
-					if err != nil {
-						return err
-					}
-					dst := make([]byte, elems*8)
-					if err := p.LoadBlock("A", []uint64{0}, []uint64{elems}, dst); err != nil {
-						return err
-					}
-					vals := bytesview.OfCopy[float64](dst)
-					first := vals[0]
-					if first != 1 && first != 2 {
-						t.Errorf("k=%d: A[0] = %g, want 1 or 2", k, first)
-					}
-					for i, v := range vals {
-						if v != first {
-							t.Errorf("k=%d: torn overwrite: A[0]=%g but A[%d]=%g", k, first, i, v)
-							break
-						}
-					}
-					if completed && first != 2 {
-						t.Errorf("k=%d: committed overwrite lost (A = all %g)", k, first)
-					}
-					return p.Munmap()
-				})
-				if err != nil {
-					t.Fatalf("k=%d: recovery failed: %v", k, err)
-				}
-
-				if completed {
-					return // swept every crash point for this row
-				}
-				if k > 5000 {
-					t.Fatal("crash matrix sweep did not terminate")
-				}
-			}
-		})
-	}
+		runExplore(t, s, core.ExploreOptions{Seed: 4242, Modes: allModes, Tear: true})
+	})
 }

@@ -1,0 +1,631 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"pmemcpy/internal/bytesview"
+	"pmemcpy/internal/core"
+	"pmemcpy/internal/mpi"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/serial"
+	"pmemcpy/internal/sim"
+)
+
+// Differential property test: random operation sequences executed against
+// independent backends must agree on every observable — dims, full and
+// partial loads byte-for-byte, min/max statistics, and presence — with a
+// DRAM reference model as the oracle. Flavor A pits the hashtable layout
+// against the hierarchy (posixfs-style) layout; flavor B pits the 4-worker
+// sharded copy engines against the serial path. A failing sequence is
+// shrunk to a minimal reproducer and logged.
+
+// diffOp is one generated operation. Payload values are embedded at
+// generation time so a shrunken subsequence replays the same data.
+type diffOp struct {
+	kind    string // alloc | store | datum | delete | compact
+	id      string
+	dims    []uint64  // alloc
+	offs    []uint64  // store
+	counts  []uint64  // store
+	vals    []float64 // store payload
+	payload []byte    // datum payload
+}
+
+func (o diffOp) String() string {
+	switch o.kind {
+	case "alloc":
+		return fmt.Sprintf("alloc %s %v", o.id, o.dims)
+	case "store":
+		return fmt.Sprintf("store %s offs=%v counts=%v (%d vals, first=%g)",
+			o.id, o.offs, o.counts, len(o.vals), o.vals[0])
+	case "datum":
+		return fmt.Sprintf("datum %s (%d bytes)", o.id, len(o.payload))
+	default:
+		return fmt.Sprintf("%s %s", o.kind, o.id)
+	}
+}
+
+func fmtOps(ops []diffOp) string {
+	var b strings.Builder
+	for i, o := range ops {
+		fmt.Fprintf(&b, "  %2d: %s\n", i, o)
+	}
+	return b.String()
+}
+
+// --- DRAM reference model ---
+
+// modelBlock mirrors one published block record: its region and the range of
+// the values stored with it (the characteristics MinMax aggregates, which
+// cover shadowed blocks too).
+type modelBlock struct {
+	offs, counts []uint64
+	mn, mx       float64
+}
+
+type modelArr struct {
+	dims []uint64
+	data []float64 // visible (latest-wins) contents
+	// blocks mirrors the publish-ordered block list of the serial whole-block
+	// backend.
+	blocks []modelBlock
+	// valid: the array has full coverage (a full-extent store since the last
+	// delete), so loads are defined.
+	valid bool
+	// compacted: Compact ran on this id; sharded backends may keep different
+	// shadowed blocks than the whole-block model from here on, so MinMax is
+	// no longer compared for them.
+	compacted bool
+}
+
+type diffModel struct {
+	arrs   map[string]*modelArr
+	datums map[string][]byte
+}
+
+func newDiffModel() *diffModel {
+	return &diffModel{arrs: map[string]*modelArr{}, datums: map[string][]byte{}}
+}
+
+func dimsSize(dims []uint64) int {
+	n := 1
+	for _, d := range dims {
+		n *= int(d)
+	}
+	return n
+}
+
+func fullExtent(dims, offs, counts []uint64) bool {
+	for d := range dims {
+		if offs[d] != 0 || counts[d] != dims[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// forRuns visits the region (offs, counts) of an array with the given dims as
+// contiguous innermost-dimension runs: di is the run's start index in the
+// array, ri in the region's row-major payload.
+func forRuns(dims, offs, counts []uint64, fn func(di, ri, run int)) {
+	ndim := len(dims)
+	stride := make([]int, ndim)
+	s := 1
+	for d := ndim - 1; d >= 0; d-- {
+		stride[d] = s
+		s *= int(dims[d])
+	}
+	rstride := make([]int, ndim)
+	s = 1
+	for d := ndim - 1; d >= 0; d-- {
+		rstride[d] = s
+		s *= int(counts[d])
+	}
+	run := int(counts[ndim-1])
+	coord := make([]int, ndim-1)
+	for {
+		di := int(offs[ndim-1])
+		ri := 0
+		for d := 0; d < ndim-1; d++ {
+			di += (int(offs[d]) + coord[d]) * stride[d]
+			ri += coord[d] * rstride[d]
+		}
+		fn(di, ri, run)
+		d := ndim - 2
+		for ; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < int(counts[d]) {
+				break
+			}
+			coord[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// region extracts (offs, counts) of the visible contents, row-major.
+func (a *modelArr) region(offs, counts []uint64) []float64 {
+	out := make([]float64, dimsSize(counts))
+	forRuns(a.dims, offs, counts, func(di, ri, run int) {
+		copy(out[ri:ri+run], a.data[di:di+run])
+	})
+	return out
+}
+
+// applicable reports whether op makes sense in the current state; the driver
+// skips inapplicable ops uniformly (they appear when shrinking removes a
+// prerequisite).
+func (m *diffModel) applicable(op diffOp) bool {
+	a := m.arrs[op.id]
+	switch op.kind {
+	case "alloc":
+		return a == nil
+	case "store":
+		return a != nil && (a.valid || fullExtent(a.dims, op.offs, op.counts))
+	case "compact":
+		return a != nil && a.valid
+	case "delete":
+		if a != nil {
+			return a.valid
+		}
+		_, ok := m.datums[op.id]
+		return ok
+	case "datum":
+		return true
+	}
+	return false
+}
+
+func (m *diffModel) apply(op diffOp) {
+	switch op.kind {
+	case "alloc":
+		m.arrs[op.id] = &modelArr{
+			dims: append([]uint64(nil), op.dims...),
+			data: make([]float64, dimsSize(op.dims)),
+		}
+	case "store":
+		a := m.arrs[op.id]
+		forRuns(a.dims, op.offs, op.counts, func(di, ri, run int) {
+			copy(a.data[di:di+run], op.vals[ri:ri+run])
+		})
+		mn, mx := op.vals[0], op.vals[0]
+		for _, v := range op.vals[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		a.blocks = append(a.blocks, modelBlock{
+			offs:   append([]uint64(nil), op.offs...),
+			counts: append([]uint64(nil), op.counts...),
+			mn:     mn, mx: mx,
+		})
+		if fullExtent(a.dims, op.offs, op.counts) {
+			a.valid = true
+		}
+	case "delete":
+		if a := m.arrs[op.id]; a != nil {
+			a.blocks = nil
+			a.valid = false
+			a.compacted = false
+		} else {
+			delete(m.datums, op.id)
+		}
+	case "compact":
+		a := m.arrs[op.id]
+		// Same conservative containment rule as core.Compact: block i is dead
+		// iff a single newer block j fully contains its region.
+		var live []modelBlock
+		for i, b := range a.blocks {
+			dead := false
+			for j := i + 1; j < len(a.blocks); j++ {
+				c := a.blocks[j]
+				dead = len(c.offs) == len(b.offs)
+				for d := range c.offs {
+					if b.offs[d] < c.offs[d] || b.offs[d]+b.counts[d] > c.offs[d]+c.counts[d] {
+						dead = false
+						break
+					}
+				}
+				if dead {
+					break
+				}
+			}
+			if !dead {
+				live = append(live, b)
+			}
+		}
+		a.blocks = live
+		a.compacted = true
+	case "datum":
+		m.datums[op.id] = append([]byte(nil), op.payload...)
+	}
+}
+
+// minmax aggregates block characteristics exactly as core.MinMax does —
+// shadowed blocks included.
+func (a *modelArr) minmax() (float64, float64) {
+	mn, mx := a.blocks[0].mn, a.blocks[0].mx
+	for _, b := range a.blocks[1:] {
+		if b.mn < mn {
+			mn = b.mn
+		}
+		if b.mx > mx {
+			mx = b.mx
+		}
+	}
+	return mn, mx
+}
+
+// --- backends and driver ---
+
+type diffBackend struct {
+	name string
+	path string
+	opts *core.Options
+	hier bool // hierarchy layout: no Compact, no MinMax
+	par  bool // sharded copy engine: MinMax diverges from the model after Compact
+}
+
+func applyDiffOp(p *core.PMEM, op diffOp, hier bool) error {
+	switch op.kind {
+	case "alloc":
+		return p.Alloc(op.id, serial.Float64, op.dims)
+	case "store":
+		return p.StoreBlock(op.id, op.offs, op.counts, bytesview.Bytes(op.vals))
+	case "datum":
+		return p.StoreDatum(op.id, &serial.Datum{Type: serial.Bytes, Payload: op.payload})
+	case "delete":
+		_, err := p.Delete(op.id)
+		return err
+	case "compact":
+		if hier {
+			return nil // semantically a no-op for reads; layout doesn't support it
+		}
+		_, err := p.Compact(op.id)
+		return err
+	}
+	return fmt.Errorf("unknown op kind %q", op.kind)
+}
+
+// runDiff replays ops on every backend and the model, comparing all
+// observables after each op. It returns a divergence description ("" when
+// the backends agree everywhere) and an infrastructure error.
+func runDiff(ops []diffOp, backends []diffBackend, devSize int64) (string, error) {
+	n := node.New(sim.DefaultConfig(), devSize)
+	n.Machine.SetConcurrency(1)
+	var diverged string
+	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+		handles := make([]*core.PMEM, len(backends))
+		for i, b := range backends {
+			p, err := core.Mmap(c, n, b.path, b.opts)
+			if err != nil {
+				return fmt.Errorf("mmap %s: %w", b.name, err)
+			}
+			handles[i] = p
+		}
+		m := newDiffModel()
+		for i, op := range ops {
+			if !m.applicable(op) {
+				continue
+			}
+			m.apply(op)
+			for bi, b := range backends {
+				if err := applyDiffOp(handles[bi], op, b.hier); err != nil {
+					return fmt.Errorf("op %d (%s) on %s: %w", i, op, b.name, err)
+				}
+			}
+			if msg, err := compareState(m, backends, handles, i); err != nil {
+				return err
+			} else if msg != "" {
+				diverged = fmt.Sprintf("after op %d (%s): %s", i, op, msg)
+				return nil
+			}
+		}
+		return nil
+	})
+	return diverged, err
+}
+
+// compareState checks every observable of every backend against the model.
+// The probe subrange is derived from the op index alone, so replays during
+// shrinking probe identically.
+func compareState(m *diffModel, backends []diffBackend, handles []*core.PMEM, opIdx int) (string, error) {
+	probe := rand.New(rand.NewSource(int64(opIdx)*7919 + 1))
+	ids := make([]string, 0, len(m.arrs))
+	for id := range m.arrs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := m.arrs[id]
+		// Probe region: the full extent plus one random subrange.
+		regions := [][2][]uint64{{make([]uint64, len(a.dims)), a.dims}}
+		offs := make([]uint64, len(a.dims))
+		cnts := make([]uint64, len(a.dims))
+		for d, dim := range a.dims {
+			offs[d] = uint64(probe.Intn(int(dim)))
+			cnts[d] = 1 + uint64(probe.Intn(int(dim-offs[d])))
+		}
+		regions = append(regions, [2][]uint64{offs, cnts})
+
+		for bi, b := range backends {
+			p := handles[bi]
+			dt, dims, err := p.LoadDims(id)
+			if err != nil {
+				return fmt.Sprintf("%s: dims of %s: %v", b.name, id, err), nil
+			}
+			if dt != serial.Float64 || fmt.Sprint(dims) != fmt.Sprint(a.dims) {
+				return fmt.Sprintf("%s: dims of %s = %v %v, model %v", b.name, id, dt, dims, a.dims), nil
+			}
+			if !a.valid {
+				// Deleted (or never based): loads must fail.
+				dst := make([]byte, dimsSize(a.dims)*8)
+				if err := p.LoadBlock(id, regions[0][0], regions[0][1], dst); err == nil {
+					return fmt.Sprintf("%s: load of deleted %s succeeded", b.name, id), nil
+				}
+				continue
+			}
+			for _, r := range regions {
+				want := bytesview.Bytes(a.region(r[0], r[1]))
+				dst := make([]byte, len(want))
+				if err := p.LoadBlock(id, r[0], r[1], dst); err != nil {
+					return fmt.Sprintf("%s: load %s offs=%v counts=%v: %v", b.name, id, r[0], r[1], err), nil
+				}
+				if !bytes.Equal(dst, want) {
+					return fmt.Sprintf("%s: load %s offs=%v counts=%v differs from model", b.name, id, r[0], r[1]), nil
+				}
+			}
+			if !b.hier && !(b.par && a.compacted) {
+				mn, mx, err := p.MinMax(id)
+				if err != nil {
+					return fmt.Sprintf("%s: minmax of %s: %v", b.name, id, err), nil
+				}
+				wmn, wmx := a.minmax()
+				if mn != wmn || mx != wmx {
+					return fmt.Sprintf("%s: MinMax(%s) = [%g, %g], model [%g, %g]",
+						b.name, id, mn, mx, wmn, wmx), nil
+				}
+			}
+		}
+	}
+	dids := make([]string, 0, len(m.datums))
+	for id := range m.datums {
+		dids = append(dids, id)
+	}
+	sort.Strings(dids)
+	for _, id := range dids {
+		for bi, b := range backends {
+			d, err := handles[bi].LoadDatum(id)
+			if err != nil {
+				return fmt.Sprintf("%s: datum %s: %v", b.name, id, err), nil
+			}
+			if !bytes.Equal(d.Payload, m.datums[id]) {
+				return fmt.Sprintf("%s: datum %s differs from model (%d vs %d bytes)",
+					b.name, id, len(d.Payload), len(m.datums[id])), nil
+			}
+		}
+	}
+	return "", nil
+}
+
+// --- generator ---
+
+// genDiffOps generates n ops that are applicable in generation order, with
+// payload values baked in.
+func genDiffOps(rng *rand.Rand, n int, shapes map[string][]uint64, datumIDs []string, datumMax int) []diffOp {
+	m := newDiffModel()
+	arrIDs := make([]string, 0, len(shapes))
+	for id := range shapes {
+		arrIDs = append(arrIDs, id)
+	}
+	sort.Strings(arrIDs)
+
+	randVals := func(sz int) []float64 {
+		vals := make([]float64, sz)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(1999) - 999)
+		}
+		return vals
+	}
+	var ops []diffOp
+	for len(ops) < n {
+		// Candidate ops in the current state; stores weighted heavier.
+		type cand struct {
+			kind string
+			id   string
+			full bool
+		}
+		var cs []cand
+		for _, id := range arrIDs {
+			a := m.arrs[id]
+			if a == nil {
+				cs = append(cs, cand{"alloc", id, false}, cand{"alloc", id, false})
+				continue
+			}
+			cs = append(cs, cand{"store", id, true})
+			if a.valid {
+				cs = append(cs, cand{"store", id, false}, cand{"store", id, false},
+					cand{"compact", id, false}, cand{"delete", id, false})
+			}
+		}
+		for _, id := range datumIDs {
+			cs = append(cs, cand{"datum", id, false})
+			if _, ok := m.datums[id]; ok {
+				cs = append(cs, cand{"delete", id, false})
+			}
+		}
+		c := cs[rng.Intn(len(cs))]
+		op := diffOp{kind: c.kind, id: c.id}
+		switch c.kind {
+		case "alloc":
+			op.dims = shapes[c.id]
+		case "store":
+			dims := m.arrs[c.id].dims
+			op.offs = make([]uint64, len(dims))
+			op.counts = make([]uint64, len(dims))
+			if c.full || rng.Intn(2) == 0 {
+				copy(op.counts, dims)
+			} else {
+				for d, dim := range dims {
+					op.offs[d] = uint64(rng.Intn(int(dim)))
+					op.counts[d] = 1 + uint64(rng.Intn(int(dim-op.offs[d])))
+				}
+			}
+			op.vals = randVals(dimsSize(op.counts))
+		case "datum":
+			op.payload = []byte(fmt.Sprintf("%s-%x", c.id, rng.Int63n(int64(datumMax))))
+		}
+		if !m.applicable(op) {
+			continue
+		}
+		m.apply(op)
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// --- shrinker ---
+
+// shrinkOps minimizes ops while failing(ops) stays true, removing chunks
+// from large to single ops (ddmin-style greedy). failing must be
+// deterministic and is assumed true for the input.
+func shrinkOps(ops []diffOp, failing func([]diffOp) bool) []diffOp {
+	cur := ops
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]diffOp, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if failing(cand) {
+				cur = cand
+				removed = true
+			} else {
+				start += chunk
+			}
+		}
+		if removed {
+			continue // retry at the same granularity
+		}
+		if chunk == 1 {
+			return cur
+		}
+		chunk /= 2
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+}
+
+// runDifferential generates, replays, and — on divergence — shrinks and
+// reports the minimal failing sequence.
+func runDifferential(t *testing.T, seed int64, nOps int, shapes map[string][]uint64,
+	datumIDs []string, backends []diffBackend, devSize int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ops := genDiffOps(rng, nOps, shapes, datumIDs, 1<<16)
+	msg, err := runDiff(ops, backends, devSize)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if msg == "" {
+		return
+	}
+	min := shrinkOps(ops, func(cand []diffOp) bool {
+		m, err := runDiff(cand, backends, devSize)
+		return err == nil && m != ""
+	})
+	minMsg, _ := runDiff(min, backends, devSize)
+	t.Fatalf("seed %d: backends diverged: %s\nminimal failing sequence (%d ops):\n%s(divergence: %s)",
+		seed, msg, len(min), fmtOps(min), minMsg)
+}
+
+// TestDifferentialHashtableVsHierarchy (flavor A): the hashtable layout, the
+// hierarchy (posixfs-style) layout, and the DRAM model must agree on every
+// observable under random serial op sequences including Compact and Delete.
+func TestDifferentialHashtableVsHierarchy(t *testing.T) {
+	shapes := map[string][]uint64{
+		"u": {48},
+		"v": {6, 9},
+		"w": {64},
+	}
+	backends := []diffBackend{
+		{name: "hashtable", path: "/ht.pool", opts: &core.Options{PoolSize: 16 << 20}},
+		{name: "hierarchy", path: "/hier", opts: &core.Options{Layout: core.LayoutHierarchy}, hier: true},
+	}
+	for _, seed := range []int64{1, 7, 42, 99, 2026} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferential(t, seed, 80, shapes, []string{"s1", "s2"}, backends, 32<<20)
+		})
+	}
+}
+
+// TestDifferentialParallelVsSerial (flavor B): the 4-worker sharded write
+// engine and parallel gather engine must be observationally identical to the
+// serial path on payloads straddling the parallel threshold. MinMax is
+// compared against the model only until Compact runs on an id: the sharded
+// block list legitimately keeps different shadowed blocks than the
+// whole-block model from then on.
+func TestDifferentialParallelVsSerial(t *testing.T) {
+	shapes := map[string][]uint64{
+		"u": {32768},    // 256 KB full store: exactly the parallel threshold
+		"v": {160, 240}, // 300 KB full store, 2-D sharding
+	}
+	backends := []diffBackend{
+		{name: "parallel", path: "/par.pool",
+			opts: &core.Options{PoolSize: 20 << 20, Parallelism: 4, ReadParallelism: 4}, par: true},
+		{name: "serial", path: "/ser.pool",
+			opts: &core.Options{PoolSize: 20 << 20, Parallelism: 1}},
+	}
+	for _, seed := range []int64{3, 11, 27} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferential(t, seed, 18, shapes, []string{"s1"}, backends, 64<<20)
+		})
+	}
+}
+
+// TestShrinkOps pins the shrinker itself: an artificial predicate that fails
+// whenever the sequence contains both a delete of "u" and a compact of "u"
+// must shrink any failing sequence down to exactly those two ops.
+func TestShrinkOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := map[string][]uint64{"u": {16}, "v": {4, 4}}
+	var ops []diffOp
+	for {
+		ops = genDiffOps(rng, 40, shapes, []string{"s1"}, 1<<10)
+		hasDel, hasCmp := false, false
+		for _, o := range ops {
+			hasDel = hasDel || (o.kind == "delete" && o.id == "u")
+			hasCmp = hasCmp || (o.kind == "compact" && o.id == "u")
+		}
+		if hasDel && hasCmp {
+			break
+		}
+	}
+	failing := func(cand []diffOp) bool {
+		hasDel, hasCmp := false, false
+		for _, o := range cand {
+			hasDel = hasDel || (o.kind == "delete" && o.id == "u")
+			hasCmp = hasCmp || (o.kind == "compact" && o.id == "u")
+		}
+		return hasDel && hasCmp
+	}
+	min := shrinkOps(ops, failing)
+	if len(min) != 2 || !failing(min) {
+		t.Fatalf("shrunk to %d ops (want 2):\n%s", len(min), fmtOps(min))
+	}
+}

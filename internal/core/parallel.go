@@ -144,7 +144,7 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	}
 	p.chargeParallelStore(total, encPasses, len(shards))
 	for i := range shards {
-		if err := p.st.pool.Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote); err != nil {
+		if err := p.st.pool.Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote, ptBlockShard); err != nil {
 			return err
 		}
 	}
@@ -227,7 +227,7 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) error {
 	}
 	wg.Wait()
 	p.chargeParallelStore(need, encPasses, workers)
-	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need); err != nil {
+	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumChunk); err != nil {
 		return err
 	}
 	rec := encodeValueRef(blk, need)

@@ -1,0 +1,18 @@
+package core
+
+import "pmemcpy/internal/pmem"
+
+// Named persist points of the core store. Payload flushes happen outside the
+// pmdk transaction (ordered publish: persist the payload, then publish the
+// pointer transactionally), so they carry their own points distinct from the
+// pmdk protocol steps.
+var (
+	// StoreDatum's serial payload flush.
+	ptDatumPayload = pmem.RegisterPoint("core.datum.payload")
+	// StoreDatum's parallel chunked-copy payload flush.
+	ptDatumChunk = pmem.RegisterPoint("core.datum.chunk")
+	// StoreBlock's serial payload flush.
+	ptBlockPayload = pmem.RegisterPoint("core.block.payload")
+	// storeBlockParallel's per-shard payload flush.
+	ptBlockShard = pmem.RegisterPoint("core.block.shard")
+)

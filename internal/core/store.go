@@ -66,6 +66,13 @@ func (p *PMEM) Delete(id string) (bool, error) {
 		}
 		owned = append(owned, blk)
 	}
+	// Unlink the metadata entry first, then free the storage it owned: a
+	// crash between the two leaks blocks (recoverable garbage), while the
+	// reverse order would leave the entry dangling at freed storage.
+	existed, err := p.st.ht.Delete(clk, []byte(id))
+	if err != nil || !existed {
+		return existed, err
+	}
 	if len(owned) > 0 {
 		tx, err := p.st.pool.Begin(clk)
 		if err != nil {
@@ -81,7 +88,7 @@ func (p *PMEM) Delete(id string) (bool, error) {
 			return false, err
 		}
 	}
-	return p.st.ht.Delete(clk, []byte(id))
+	return true, nil
 }
 
 // Keys lists every stored id (including "#dims" companions) in sorted order,
@@ -152,7 +159,7 @@ func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
 		return err
 	}
 	p.chargeStoreBytes(int64(wrote)+1, encPasses)
-	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need); err != nil {
+	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumPayload); err != nil {
 		return err
 	}
 	// Publish: the KV value is a (pmid, len) pointer record.
@@ -302,7 +309,7 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 		return err
 	}
 	p.chargeStoreBytes(int64(wrote), encPasses)
-	if err := p.st.pool.Mapping().Persist(clk, int64(blk), int64(wrote)); err != nil {
+	if err := p.st.pool.Mapping().Persist(clk, int64(blk), int64(wrote), ptBlockPayload); err != nil {
 		return err
 	}
 

@@ -1,0 +1,95 @@
+// Package fsck checks the structural invariants of a pMEMCPY pool the way a
+// filesystem checker does: open the pool (which runs lane recovery exactly as
+// a post-crash restart would), then verify the allocator, lane, and hashtable
+// invariants the pmdk layer maintains. It is the reusable core shared by the
+// cmd/pmemfsck CLI and the crash-point explorer in internal/core.
+package fsck
+
+import (
+	"fmt"
+	"strings"
+
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/sim"
+)
+
+// Report is the result of one Check run.
+type Report struct {
+	// Violations lists every violated invariant, in detection order.
+	Violations []pmdk.Violation
+	// Recovered is the number of transaction lanes rolled back while opening
+	// the pool.
+	Recovered int64
+	// Keys is the number of hashtable entries walked (0 when the pool has no
+	// published hashtable).
+	Keys int
+	// HasTable reports whether the pool root pointed at a hashtable.
+	HasTable bool
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// First returns the first violated invariant, or nil when the pool is clean.
+func (r *Report) First() *pmdk.Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// Summary returns a one-line human-readable result.
+func (r *Report) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("pool clean: %d keys, %d lanes recovered", r.Keys, r.Recovered)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant(s) violated; first: %s", len(r.Violations), r.First())
+	return b.String()
+}
+
+// Check opens the pool in m (running crash recovery, as any consumer of the
+// pool would) and verifies its structural invariants. Failure to open at all
+// is itself reported as a violation rather than an error: a pool that cannot
+// be opened after a crash is the checker's most important finding. The
+// returned error is reserved for infrastructure problems (unreadable
+// mapping).
+func Check(clk *sim.Clock, m *pmem.Mapping) (*Report, error) {
+	rep := &Report{}
+	pool, err := pmdk.Open(clk, m)
+	if err != nil {
+		rep.Violations = append(rep.Violations, pmdk.Violation{
+			Invariant: "pool.open",
+			Detail:    err.Error(),
+		})
+		return rep, nil
+	}
+	rep.Recovered = pool.Stats().Recovered
+	rep.Violations = append(rep.Violations, pool.Verify(clk)...)
+
+	// pMEMCPY publishes its hashtable through the root object; an empty root
+	// means a bare pool, which is legal.
+	root, _ := pool.Root()
+	htID, err := pool.ReadU64(clk, root)
+	if err != nil {
+		return rep, err
+	}
+	if htID == 0 {
+		return rep, nil
+	}
+	rep.HasTable = true
+	h, err := pmdk.OpenHashtable(clk, pool, pmdk.PMID(htID))
+	if err != nil {
+		rep.Violations = append(rep.Violations, pmdk.Violation{
+			Invariant: "ht.open",
+			Detail:    err.Error(),
+		})
+		return rep, nil
+	}
+	rep.Violations = append(rep.Violations, h.Verify(clk)...)
+	if n, err := h.Len(clk); err == nil {
+		rep.Keys = n
+	}
+	return rep, nil
+}

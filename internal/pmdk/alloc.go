@@ -93,7 +93,7 @@ func (a *arena) hugeOff() PMID { return PMID(a.metaOff + 16 + 8*nSizeClasses) }
 func (p *Pool) initBrk(clk *sim.Clock) error {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(p.heapOff))
-	return p.StoreBytes(clk, PMID(p.allocOff), b[:], true)
+	return p.StoreBytesAt(clk, PMID(p.allocOff), b[:], true, ptAllocBrk)
 }
 
 // reserveExtent claims a fresh [start, limit) slice of the heap off the
@@ -123,7 +123,7 @@ func (p *Pool) reserveExtent(clk *sim.Clock, want int64, exact bool) (start, lim
 	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(brk+ext))
-	if err := p.StoreBytes(clk, PMID(p.allocOff), b[:], true); err != nil {
+	if err := p.StoreBytesAt(clk, PMID(p.allocOff), b[:], true, ptAllocBrk); err != nil {
 		return 0, 0, err
 	}
 	return brk, brk + ext, nil
@@ -542,12 +542,12 @@ func (tx *Tx) returnExtents() error {
 		binary.LittleEndian.PutUint64(blk[0:], uint64(size))
 		binary.LittleEndian.PutUint64(blk[8:], stateFree)
 		binary.LittleEndian.PutUint64(blk[16:], head)
-		if err := p.StoreBytes(tx.clk, PMID(e.start), blk[:], true); err != nil {
+		if err := p.StoreBytesAt(tx.clk, PMID(e.start), blk[:], true, ptAllocExtentBlock); err != nil {
 			return err
 		}
 		var hw [8]byte
 		binary.LittleEndian.PutUint64(hw[:], uint64(e.start+blockHeaderSize))
-		if err := p.StoreBytes(tx.clk, e.a.hugeOff(), hw[:], true); err != nil {
+		if err := p.StoreBytesAt(tx.clk, e.a.hugeOff(), hw[:], true, ptAllocExtentHead); err != nil {
 			return err
 		}
 		e.a.freeHint.Add(1)

@@ -78,7 +78,7 @@ func CreateHashtable(tx *Tx, nbuckets uint64) (PMID, error) {
 	if err := tx.p.StoreBytes(tx.clk, id+htHeaderSize, zero, false); err != nil {
 		return Null, err
 	}
-	if err := tx.p.m.Persist(tx.clk, int64(id), size); err != nil {
+	if err := tx.p.m.Persist(tx.clk, int64(id), size, ptHTFormat); err != nil {
 		return Null, err
 	}
 	return id, nil
@@ -166,7 +166,7 @@ func (h *Hashtable) newValueBlock(clk *sim.Clock, tx *Tx, value []byte) (PMID, e
 		return Null, err
 	}
 	if len(value) > 0 {
-		if err := h.p.StoreBytes(clk, vid, value, true); err != nil {
+		if err := h.p.StoreBytesAt(clk, vid, value, true, ptHTValue); err != nil {
 			return Null, err
 		}
 	}
@@ -241,7 +241,7 @@ func (h *Hashtable) Put(clk *sim.Clock, key, value []byte) error {
 	binary.LittleEndian.PutUint64(ebuf[entryVlen:], uint64(len(value)))
 	binary.LittleEndian.PutUint64(ebuf[entryVal:], uint64(vid))
 	copy(ebuf[entryKeyStart:], key)
-	if err := h.p.StoreBytes(clk, eid, ebuf, true); err != nil {
+	if err := h.p.StoreBytesAt(clk, eid, ebuf, true, ptHTEntry); err != nil {
 		return abort(err)
 	}
 	if err := tx.WriteU64(link, uint64(eid)); err != nil {

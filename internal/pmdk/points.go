@@ -1,0 +1,44 @@
+package pmdk
+
+import "pmemcpy/internal/pmem"
+
+// Named persist points of the pmdk layer. Every flush, drain, and atomic
+// publish below carries one of these IDs, so the fault-injection engine can
+// report coverage by protocol step rather than by raw byte offset. The names
+// are the stable contract: the explorer's golden file and the coverage maps
+// key on them.
+var (
+	// Pool lifecycle.
+	ptPoolHeader = pmem.RegisterPoint("pmdk.pool.header")
+	ptPoolFormat = pmem.RegisterPoint("pmdk.pool.format")
+
+	// Ordered-publish StoreBytes without a more specific caller-side point.
+	ptStoreBytes = pmem.RegisterPoint("pmdk.store.bytes")
+
+	// Allocator: un-logged brk advance and clean-abort extent return.
+	ptAllocBrk         = pmem.RegisterPoint("pmdk.alloc.brk")
+	ptAllocExtentBlock = pmem.RegisterPoint("pmdk.alloc.extent.block")
+	ptAllocExtentHead  = pmem.RegisterPoint("pmdk.alloc.extent.head")
+
+	// Undo-log transaction protocol (see the lane layout comment in tx.go).
+	ptTxBegin       = pmem.RegisterPoint("pmdk.tx.begin")
+	ptTxBeginDrain  = pmem.RegisterPoint("pmdk.tx.begin.drain")
+	ptTxLogEntry    = pmem.RegisterPoint("pmdk.tx.log.entry")
+	ptTxLogDrain    = pmem.RegisterPoint("pmdk.tx.log.drain")
+	ptTxLogCount    = pmem.RegisterPoint("pmdk.tx.log.count")
+	ptTxCommitData  = pmem.RegisterPoint("pmdk.tx.commit.data")
+	ptTxCommitDrain = pmem.RegisterPoint("pmdk.tx.commit.drain")
+	ptTxLaneCount   = pmem.RegisterPoint("pmdk.tx.lane.count")
+	ptTxLaneClose   = pmem.RegisterPoint("pmdk.tx.lane.close")
+	ptTxLaneDrain   = pmem.RegisterPoint("pmdk.tx.lane.drain")
+
+	// Recovery / rollback.
+	ptRecUndo      = pmem.RegisterPoint("pmdk.rec.undo")
+	ptRecDrain     = pmem.RegisterPoint("pmdk.rec.drain")
+	ptRecLaneClear = pmem.RegisterPoint("pmdk.rec.lane.clear")
+
+	// Hashtable formatting and object publication.
+	ptHTFormat = pmem.RegisterPoint("pmdk.ht.format")
+	ptHTValue  = pmem.RegisterPoint("pmdk.ht.value")
+	ptHTEntry  = pmem.RegisterPoint("pmdk.ht.entry")
+)

@@ -232,7 +232,7 @@ func Create(clk *sim.Clock, m *pmem.Mapping, opts *Options) (*Pool, error) {
 	binary.LittleEndian.PutUint32(hdr[hdrArenas:], uint32(o.Arenas))
 	binary.LittleEndian.PutUint64(hdr[hdrChecksum:], headerChecksum(hdr))
 	m.ChargeWrite(clk, headerSize)
-	if err := m.Persist(clk, 0, headerSize); err != nil {
+	if err := m.Persist(clk, 0, headerSize, ptPoolHeader); err != nil {
 		return nil, err
 	}
 
@@ -252,7 +252,7 @@ func Create(clk *sim.Clock, m *pmem.Mapping, opts *Options) (*Pool, error) {
 	// state): milliseconds on real hardware regardless of pool size, so the
 	// model charges only the persist fence. Charging bytes here would let
 	// profile scaling inflate a constant-size cost.
-	if err := m.Persist(clk, allocOff, zeroTo-allocOff); err != nil {
+	if err := m.Persist(clk, allocOff, zeroTo-allocOff, ptPoolFormat); err != nil {
 		return nil, err
 	}
 
@@ -394,8 +394,14 @@ func (p *Pool) ReadU64(clk *sim.Clock, off PMID) (uint64, error) {
 // StoreBytes writes b at off outside any transaction, charging the write and
 // optionally persisting. Callers use it for bulk payloads whose atomicity is
 // guaranteed by ordering (write payload, persist, then publish the pointer
-// transactionally).
+// transactionally). The persist is tagged with the generic pmdk.store.bytes
+// point; callers on an instrumented protocol path use StoreBytesAt.
 func (p *Pool) StoreBytes(clk *sim.Clock, off PMID, b []byte, persist bool) error {
+	return p.StoreBytesAt(clk, off, b, persist, ptStoreBytes)
+}
+
+// StoreBytesAt is StoreBytes with an explicit persist point.
+func (p *Pool) StoreBytesAt(clk *sim.Clock, off PMID, b []byte, persist bool, pt pmem.PointID) error {
 	if err := p.checkRange(int64(off), int64(len(b))); err != nil {
 		return err
 	}
@@ -409,7 +415,7 @@ func (p *Pool) StoreBytes(clk *sim.Clock, off PMID, b []byte, persist bool) erro
 	copy(dst, b)
 	p.m.ChargeWrite(clk, int64(len(b)))
 	if persist {
-		return p.m.Persist(clk, int64(off), int64(len(b)))
+		return p.m.Persist(clk, int64(off), int64(len(b)), pt)
 	}
 	return nil
 }

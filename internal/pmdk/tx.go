@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/sim"
 )
 
@@ -134,17 +135,22 @@ type txRange struct{ off, n int64 }
 func (p *Pool) Begin(clk *sim.Clock) (*Tx, error) {
 	lane := <-p.laneFree
 	tx := &Tx{p: p, clk: clk, lane: lane, base: p.laneOff + int64(lane)*p.laneSize}
-	if err := tx.setU64(laneActive, 1); err != nil {
+	if err := tx.setU64(laneActive, 1, ptTxBegin); err != nil {
+		// The store itself landed even though its persist failed; scrub the
+		// word back to idle (best-effort — irrelevant on a dead device) so a
+		// transient media error does not leak an active lane to the free pool.
+		_ = tx.setU64(laneActive, 0, ptTxBegin)
 		p.laneFree <- lane
 		return nil, err
 	}
-	p.m.Fence(clk)
+	p.m.Fence(clk, ptTxBeginDrain)
 	p.stats.transactions.Add(1)
 	return tx, nil
 }
 
-// setU64 writes a lane-header field durably.
-func (tx *Tx) setU64(field int64, v uint64) error {
+// setU64 writes a lane-header field durably, persisting at the caller's
+// protocol point.
+func (tx *Tx) setU64(field int64, v uint64, pt pmem.PointID) error {
 	off := tx.base + field
 	if err := tx.p.m.Capture(off, 8); err != nil {
 		return err
@@ -155,7 +161,7 @@ func (tx *Tx) setU64(field int64, v uint64) error {
 	}
 	binary.LittleEndian.PutUint64(b, v)
 	tx.p.m.ChargeWrite(tx.clk, 8)
-	return tx.p.m.Persist(tx.clk, off, 8)
+	return tx.p.m.Persist(tx.clk, off, 8, pt)
 }
 
 func (tx *Tx) readU64(field int64) (uint64, error) {
@@ -200,17 +206,17 @@ func (tx *Tx) Add(off PMID, n int64) error {
 	copy(eb[16:], src)
 	tx.p.m.ChargeRead(tx.clk, n)
 	tx.p.m.ChargeWrite(tx.clk, entrySize)
-	if err := tx.p.m.Persist(tx.clk, eoff, entrySize); err != nil {
+	if err := tx.p.m.Persist(tx.clk, eoff, entrySize, ptTxLogEntry); err != nil {
 		return err
 	}
-	tx.p.m.Fence(tx.clk)
+	tx.p.m.Fence(tx.clk, ptTxLogDrain)
 
 	// Count it (atomic 8-byte store), then allow the mutation.
 	nent, err := tx.readU64(laneNEntries)
 	if err != nil {
 		return err
 	}
-	if err := tx.setU64(laneNEntries, nent+1); err != nil {
+	if err := tx.setU64(laneNEntries, nent+1, ptTxLogCount); err != nil {
 		return err
 	}
 	tx.used += entrySize
@@ -257,11 +263,11 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("pmdk: double Commit/Abort")
 	}
 	for _, r := range tx.ranges {
-		if err := tx.p.m.Persist(tx.clk, r.off, r.n); err != nil {
+		if err := tx.p.m.Persist(tx.clk, r.off, r.n, ptTxCommitData); err != nil {
 			return err
 		}
 	}
-	tx.p.m.Fence(tx.clk)
+	tx.p.m.Fence(tx.clk, ptTxCommitDrain)
 	if err := tx.finishLane(); err != nil {
 		tx.unlockArenas()
 		return err
@@ -297,13 +303,13 @@ func (tx *Tx) Abort() error {
 
 // finishLane marks the lane idle: nentries=0 then active=0, both persisted.
 func (tx *Tx) finishLane() error {
-	if err := tx.setU64(laneNEntries, 0); err != nil {
+	if err := tx.setU64(laneNEntries, 0, ptTxLaneCount); err != nil {
 		return err
 	}
-	if err := tx.setU64(laneActive, 0); err != nil {
+	if err := tx.setU64(laneActive, 0, ptTxLaneClose); err != nil {
 		return err
 	}
-	tx.p.m.Fence(tx.clk)
+	tx.p.m.Fence(tx.clk, ptTxLaneDrain)
 	return nil
 }
 
@@ -354,11 +360,11 @@ func (p *Pool) rollbackLane(clk *sim.Clock, lane int) error {
 		copy(dst, img)
 		p.m.ChargeRead(clk, e.n)
 		p.m.ChargeWrite(clk, e.n)
-		if err := p.m.Persist(clk, e.off, e.n); err != nil {
+		if err := p.m.Persist(clk, e.off, e.n, ptRecUndo); err != nil {
 			return err
 		}
 	}
-	p.m.Fence(clk)
+	p.m.Fence(clk, ptRecDrain)
 
 	// Clear the lane.
 	if err := p.m.Capture(base, 16); err != nil {
@@ -367,7 +373,7 @@ func (p *Pool) rollbackLane(clk *sim.Clock, lane int) error {
 	binary.LittleEndian.PutUint64(hdr[laneNEntries:], 0)
 	binary.LittleEndian.PutUint64(hdr[laneActive:], 0)
 	p.m.ChargeWrite(clk, 16)
-	return p.m.Persist(clk, base, 16)
+	return p.m.Persist(clk, base, 16, ptRecLaneClear)
 }
 
 // recover scans all lanes at Open time and rolls back any transaction that

@@ -52,6 +52,8 @@ type Device struct {
 
 	failed        atomic.Bool
 	persistBudget atomic.Int64 // noFailInjection = disabled
+
+	inj injector
 }
 
 const noFailInjection = int64(-1)
@@ -77,6 +79,7 @@ func New(m *sim.Machine, size int64, opts ...Option) *Device {
 		preimage: make(map[int64][]byte),
 	}
 	d.persistBudget.Store(noFailInjection)
+	d.inj.crashOp = -1
 	for _, o := range opts {
 		o(d)
 	}
@@ -243,8 +246,11 @@ func (d *Device) WriteAt(clk *sim.Clock, p []byte, off int64) (int, error) {
 // Persist makes [off, off+n) durable: it charges the flush cost (one write
 // latency per fence) and drops the pre-images of the covered cachelines so a
 // subsequent Crash will not roll them back. It models CLWB of the covered
-// lines followed by an SFENCE.
-func (d *Device) Persist(clk *sim.Clock, off, n int64) error {
+// lines followed by an SFENCE. pt names the persist point for tracing and
+// fault injection; an armed crash or an uncorrectable injected media error
+// fails the operation before any line is persisted (a torn crash persists a
+// seed-chosen subset first — see ArmCrashAtOp).
+func (d *Device) Persist(clk *sim.Clock, off, n int64, pt PointID) error {
 	if err := d.check(off, n); err != nil {
 		return err
 	}
@@ -254,6 +260,11 @@ func (d *Device) Persist(clk *sim.Clock, off, n int64) error {
 			return ErrFailed
 		}
 		d.persistBudget.Add(-1)
+	}
+	if d.inj.active.Load() {
+		if err := d.injectPersist(clk, off, n, pt); err != nil {
+			return err
+		}
 	}
 	cfg := d.machine.Config()
 	clk.Advance(cfg.PMEMWriteLatency)
@@ -269,8 +280,18 @@ func (d *Device) Persist(clk *sim.Clock, off, n int64) error {
 	return nil
 }
 
-// Fence charges a store fence without persisting any particular range.
-func (d *Device) Fence(clk *sim.Clock) {
+// Fence charges a store fence without persisting any particular range. Fences
+// carry a point ID and appear in traces, but are not injectable: a crash at a
+// fence is state-equivalent to a crash at the next persist.
+func (d *Device) Fence(clk *sim.Clock, pt PointID) {
+	if d.inj.active.Load() {
+		in := &d.inj
+		in.mu.Lock()
+		if in.tracing {
+			in.trace = append(in.trace, TraceEvent{Kind: EventFence, Point: pt, Op: -1})
+		}
+		in.mu.Unlock()
+	}
 	clk.Advance(d.machine.Config().PMEMWriteLatency)
 }
 
@@ -327,5 +348,14 @@ func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 	// Power is restored after the crash: disarm injection so recovery code
 	// can run against the surviving state.
 	d.persistBudget.Store(noFailInjection)
+	in := &d.inj
+	in.mu.Lock()
+	in.crashOp = -1
+	in.tearSeed = 0
+	in.transient = nil
+	in.tracing = false
+	in.trace = nil
+	in.recompute()
+	in.mu.Unlock()
 	d.failed.Store(false)
 }

@@ -10,6 +10,9 @@ import (
 	"pmemcpy/internal/sim"
 )
 
+// ptTest tags persists issued directly by this test file.
+var ptTest = RegisterPoint("pmem.test")
+
 func testMachine() *sim.Machine {
 	m := sim.NewMachine(sim.DefaultConfig())
 	m.SetConcurrency(1)
@@ -69,7 +72,7 @@ func TestOutOfRangeAccesses(t *testing.T) {
 	if _, err := d.WriteAt(&clk, make([]byte, 8), 1020); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("WriteAt out of range err = %v", err)
 	}
-	if err := d.Persist(&clk, 1020, 8); !errors.Is(err, ErrOutOfRange) {
+	if err := d.Persist(&clk, 1020, 8, ptTest); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("Persist out of range err = %v", err)
 	}
 }
@@ -191,7 +194,7 @@ func TestCrashLoseAllRollsBackUnpersisted(t *testing.T) {
 	if _, err := d.WriteAt(&clk, []byte("AAAA"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Persist(&clk, 0, 4); err != nil {
+	if err := d.Persist(&clk, 0, 4, ptTest); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := d.WriteAt(&clk, []byte("BBBB"), 0); err != nil {
@@ -233,7 +236,7 @@ func TestPersistedLinesSurviveCrash(t *testing.T) {
 	if _, err := d.WriteAt(&clk, []byte("DDDD"), 256); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Persist(&clk, 256, 4); err != nil {
+	if err := d.Persist(&clk, 256, 4, ptTest); err != nil {
 		t.Fatal(err)
 	}
 	d.Crash(CrashLoseAll, nil)
@@ -253,7 +256,7 @@ func TestCrashRandomGranularityIsCacheline(t *testing.T) {
 	if _, err := d.WriteAt(&clk, old, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Persist(&clk, 0, 1024); err != nil {
+	if err := d.Persist(&clk, 0, 1024, ptTest); err != nil {
 		t.Fatal(err)
 	}
 	newData := bytes.Repeat([]byte{0xBB}, 1024)
@@ -296,7 +299,7 @@ func TestCaptureRangePreservesFirstPreimage(t *testing.T) {
 	if _, err := d.WriteAt(&clk, []byte("1111"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Persist(&clk, 0, 4); err != nil {
+	if err := d.Persist(&clk, 0, 4, ptTest); err != nil {
 		t.Fatal(err)
 	}
 	// Two successive unpersisted writes: the pre-image is the persisted state,
@@ -326,7 +329,7 @@ func TestDirtyLinesAccounting(t *testing.T) {
 	if got := d.DirtyLines(); got != 4 {
 		t.Fatalf("DirtyLines = %d, want 4", got)
 	}
-	if err := d.Persist(&clk, 0, 128); err != nil {
+	if err := d.Persist(&clk, 0, 128, ptTest); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.DirtyLines(); got != 2 {
@@ -349,7 +352,7 @@ func TestQuickPersistedWritesSurviveAnyCrash(t *testing.T) {
 		if _, err := d.WriteAt(&clk, data, off); err != nil {
 			return false
 		}
-		if err := d.Persist(&clk, off, int64(len(data))); err != nil {
+		if err := d.Persist(&clk, off, int64(len(data)), ptTest); err != nil {
 			return false
 		}
 		d.Crash(CrashMode(mode%3), rng)

@@ -74,13 +74,14 @@ func (m *Mapping) ChargeRead(clk *sim.Clock, n int64) { m.dev.ChargeRead(clk, n,
 // the MAP_SYNC penalty if the mapping carries it.
 func (m *Mapping) ChargeWrite(clk *sim.Clock, n int64) { m.dev.ChargeWrite(clk, n, m.mapSync) }
 
-// Persist flushes [off, off+n) to the persistence domain.
-func (m *Mapping) Persist(clk *sim.Clock, off, n int64) error {
+// Persist flushes [off, off+n) to the persistence domain, tagged with the
+// caller's persist point.
+func (m *Mapping) Persist(clk *sim.Clock, off, n int64, pt PointID) error {
 	if err := m.rel(off, n); err != nil {
 		return err
 	}
-	return m.dev.Persist(clk, m.base+off, n)
+	return m.dev.Persist(clk, m.base+off, n, pt)
 }
 
-// Fence charges a store fence.
-func (m *Mapping) Fence(clk *sim.Clock) { m.dev.Fence(clk) }
+// Fence charges a store fence, tagged with the caller's persist point.
+func (m *Mapping) Fence(clk *sim.Clock, pt PointID) { m.dev.Fence(clk, pt) }

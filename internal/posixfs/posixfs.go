@@ -29,6 +29,9 @@ import (
 	"pmemcpy/internal/sim"
 )
 
+// ptSync names the fsync persist point of the kernel I/O path.
+var ptSync = pmem.RegisterPoint("posixfs.sync")
+
 // Filesystem errors, matching POSIX semantics.
 var (
 	ErrNotExist   = errors.New("posixfs: no such file or directory")
@@ -556,7 +559,7 @@ func (f *File) Sync(clk *sim.Clock) error {
 	f.node.mu.RLock()
 	defer f.node.mu.RUnlock()
 	for _, e := range f.node.extents {
-		if err := f.fs.dev.Persist(clk, e.off, e.n); err != nil {
+		if err := f.fs.dev.Persist(clk, e.off, e.n, ptSync); err != nil {
 			return err
 		}
 	}
