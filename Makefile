@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race faults fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults obs obsdeps fuzz bench clean
 
 all: tier1
 
@@ -19,9 +19,9 @@ vet:
 
 tier1: build vet test
 
-# verify is the pre-merge checklist: the tier-1 gate, the race detector, and
-# the fault-injection suite.
-verify: tier1 race faults
+# verify is the pre-merge checklist: the tier-1 gate, the race detector, the
+# fault-injection suite, and the observability gates.
+verify: tier1 race faults obs obsdeps
 
 # Fault-injection suite: the crash-point explorer smoke workloads (every
 # reached persist point crash-tested, clean and torn) plus the differential
@@ -29,6 +29,24 @@ verify: tier1 race faults
 faults:
 	$(GO) run ./cmd/pmembench -faults
 	$(GO) test -race -timeout 20m -run 'TestExplore|TestCrash|TestDifferential|TestBlockcache|TestPersistPoint' ./internal/core/
+
+# Observability suite: the obs unit tests (bucketing, registry dedup, prom
+# exposition, tracer nesting, concurrent increments) under -race, plus the
+# golden metrics snapshot, sampling, trace-attribution, and errors.Is
+# conformance tests.
+obs:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -run 'TestMetricsSnapshotGolden|TestMetricsAlwaysOnCounters|TestTraceAttribution' ./internal/core/
+	$(GO) test -run 'TestErrorConformance|TestDeleteAbsent' .
+
+# obsdeps enforces internal/obs's dependency-free contract: standard library
+# plus sibling pmemcpy/internal packages only.
+obsdeps:
+	@deps=$$($(GO) list -f '{{join .Imports "\n"}}' ./internal/obs/ | grep -v '^pmemcpy/internal/' | grep '\.' || true); \
+	if [ -n "$$deps" ]; then \
+		echo "internal/obs grew external dependencies:"; echo "$$deps"; exit 1; \
+	fi; \
+	echo "internal/obs is dependency-free"
 
 # Full suite under the race detector. The concurrency stress tests
 # (internal/pmdk/concurrent_test.go, internal/core/concurrent_test.go) only

@@ -50,16 +50,39 @@ func CreateArray[T Scalar](p *PMEM, id string, dims ...uint64) (Array[T], error)
 // ID returns the array's id.
 func (a Array[T]) ID() string { return a.id }
 
-// Store writes the block of data at element offsets offs with shape counts
-// (StoreSub).
-func (a Array[T]) Store(data []T, offs, counts []uint64) error {
+// StoreSub writes the block of data at element offsets offs with shape
+// counts — the typed mirror of the free StoreSub, and the canonical name of
+// this operation across the v2 surface.
+func (a Array[T]) StoreSub(data []T, offs, counts []uint64) error {
 	return StoreSub(a.p, a.id, data, offs, counts)
 }
 
-// Load fills dst with the block at element offsets offs with shape counts
-// (LoadSub).
-func (a Array[T]) Load(dst []T, offs, counts []uint64) error {
+// LoadSub fills dst with the block at element offsets offs with shape
+// counts — the typed mirror of the free LoadSub, and the canonical name of
+// this operation across the v2 surface.
+func (a Array[T]) LoadSub(dst []T, offs, counts []uint64) error {
 	return LoadSub(a.p, a.id, dst, offs, counts)
+}
+
+// Store is an alias for StoreSub, kept for existing call sites.
+func (a Array[T]) Store(data []T, offs, counts []uint64) error {
+	return a.StoreSub(data, offs, counts)
+}
+
+// Load is an alias for LoadSub, kept for existing call sites.
+func (a Array[T]) Load(dst []T, offs, counts []uint64) error {
+	return a.LoadSub(dst, offs, counts)
+}
+
+// Delete removes the array: its dims record and every stored block. It
+// reports whether anything existed; deleting an absent array is not an error.
+func (a Array[T]) Delete() (bool, error) {
+	existedDims, err := a.p.Delete(a.id + DimsSuffix)
+	if err != nil {
+		return existedDims, err
+	}
+	existed, err := a.p.Delete(a.id)
+	return existed || existedDims, err
 }
 
 // Dims returns the array's declared global dimensions.

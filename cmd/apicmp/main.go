@@ -130,7 +130,7 @@ const pmemcpyGoV2 = `func write(c *pmemcpy.Comm, n *pmemcpy.Node, path string) e
 		return err
 	}
 	a, _ := pmemcpy.CreateArray[float64](pmem, "A", count*uint64(c.Size()))
-	a.Store(data, []uint64{off}, []uint64{count})
+	a.StoreSub(data, []uint64{off}, []uint64{count})
 	return pmem.Munmap()
 }`
 

@@ -10,20 +10,28 @@
 //	pmemcli -layout hierarchy    # show the directory tree layout
 //	pmemcli -dump rect0          # hexdump the start of a variable
 //	pmemcli -codec raw           # store with serialization disabled
+//	pmemcli stats                # observability metrics as Prometheus text
+//	pmemcli stats -trace t.json  # additionally dump the operation trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"pmemcpy"
+	"pmemcpy/internal/obs"
 	"pmemcpy/internal/sim"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
 	var (
 		layoutName = flag.String("layout", "hashtable", `data layout: "hashtable" or "hierarchy"`)
 		codec      = flag.String("codec", "", "serializer: bp4 (default), flat, cbin, raw")
@@ -42,11 +50,16 @@ func main() {
 	}
 
 	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
-	opts := &pmemcpy.Options{Layout: layout, Codec: *codec, Parallelism: *parallel, ReadParallelism: *readpar}
+	opts := []pmemcpy.MmapOption{
+		pmemcpy.WithLayout(layout),
+		pmemcpy.WithCodec(*codec),
+		pmemcpy.WithParallelism(*parallel),
+		pmemcpy.WithReadParallelism(*readpar),
+	}
 
 	// Populate: a small 3-D decomposition plus scalars, in parallel.
 	_, err := pmemcpy.Run(n, *ranks, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, n, "/demo.pool", opts)
+		p, err := pmemcpy.Mmap(c, n, "/demo.pool", opts...)
 		if err != nil {
 			return err
 		}
@@ -81,7 +94,7 @@ func main() {
 
 	// Inspect, single rank.
 	_, err = pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, n, "/demo.pool", opts)
+		p, err := pmemcpy.Mmap(c, n, "/demo.pool", opts...)
 		if err != nil {
 			return err
 		}
@@ -181,6 +194,111 @@ func printTree(n *pmemcpy.Node, dir string, depth int) {
 }
 
 func newClock() *sim.Clock { return new(sim.Clock) }
+
+// runStats is the "pmemcli stats" subcommand: it populates the demo store
+// with full instrumentation enabled and prints the observability snapshot as
+// Prometheus-style exposition text. With -trace / -chrome the recorded
+// operation spans are additionally written as JSON (or a chrome://tracing
+// file).
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	var (
+		codec    = fs.String("codec", "", "serializer: bp4 (default), flat, cbin, raw")
+		ranks    = fs.Int("ranks", 4, "parallel ranks populating the store")
+		parallel = fs.Int("parallel", 0, "per-rank copy workers for large stores (<=1: serial)")
+		sampling = fs.Int("sampling", 1, "record every k-th histogram observation (<=1: all)")
+		tracePth = fs.String("trace", "", "write the operation trace as JSON to this file")
+		chromePt = fs.String("chrome", "", "write the operation trace in chrome://tracing format to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+
+	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
+	opts := []pmemcpy.MmapOption{
+		pmemcpy.WithCodec(*codec),
+		pmemcpy.WithParallelism(*parallel),
+		pmemcpy.WithMetrics(),
+		pmemcpy.WithMetricsSampling(*sampling),
+		pmemcpy.WithTracing(),
+	}
+
+	var snap pmemcpy.MetricsSnapshot
+	var spans []pmemcpy.Span
+	_, err := pmemcpy.Run(n, *ranks, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, n, "/demo.pool", opts...)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := pmemcpy.Store(p, "sim/timestep", int64(42)); err != nil {
+				return err
+			}
+		}
+		for v := 0; v < 3; v++ {
+			name := fmt.Sprintf("rect%d", v)
+			gdim := uint64(*ranks) * 64
+			if err := pmemcpy.Alloc[float64](p, name, gdim); err != nil {
+				return err
+			}
+			data := make([]float64, 64)
+			off := uint64(c.Rank()) * 64
+			for i := range data {
+				data[i] = float64(v)*1e6 + float64(off) + float64(i)
+			}
+			if err := pmemcpy.StoreSub(p, name, data, []uint64{off}, []uint64{64}); err != nil {
+				return err
+			}
+			dst := make([]float64, 64)
+			if err := pmemcpy.LoadSub(p, name, dst, []uint64{off}, []uint64{64}); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			// Munmap is a barrier, so every rank's operations have landed by
+			// the time rank 0 snapshots — but snapshot before it returns so
+			// the handle is still live.
+			defer func() {
+				snap = p.Metrics()
+				spans = p.TraceSpans()
+			}()
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# pmemcli stats: /demo.pool ranks=%d parallel=%d\n", *ranks, *parallel)
+	if err := snap.WriteProm(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n# trace: %d root spans recorded\n", len(spans))
+	if *tracePth != "" {
+		if err := writeTrace(*tracePth, spans, obs.WriteTraceJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# trace JSON written to %s\n", *tracePth)
+	}
+	if *chromePt != "" {
+		if err := writeTrace(*chromePt, spans, obs.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# chrome trace written to %s (load via chrome://tracing)\n", *chromePt)
+	}
+}
+
+func writeTrace(path string, spans []pmemcpy.Span, render func(io.Writer, []pmemcpy.Span) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pmemcli:", err)

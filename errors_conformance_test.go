@@ -1,0 +1,309 @@
+package pmemcpy_test
+
+// Error-surface conformance: every public API path that fails for one of the
+// documented reasons must wrap the matching sentinel, so callers dispatch
+// with errors.Is instead of matching message text. The table drives the v1
+// free functions, the v2 Array[T] handles, both layouts, and the parallel
+// write/gather engines through representative failures of each class.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pmemcpy"
+)
+
+func TestErrorConformance(t *testing.T) {
+	const bigElems = 96 * 1024 // 768 KB of float64: over the parallel threshold
+
+	cases := []struct {
+		name string
+		opts []pmemcpy.MmapOption
+		fn   func(p *pmemcpy.PMEM, n *pmemcpy.Node) error
+		want error
+	}{
+		{
+			name: "Load missing id",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.Load[int64](p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "LoadString missing id",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.LoadString(p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "LoadDims missing id",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.LoadDims(p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "LoadSub missing array",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				dst := make([]float64, 4)
+				return pmemcpy.LoadSub(p, "missing", dst, []uint64{0}, []uint64{4})
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "LoadSub coverage gap",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "gap", 8); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := pmemcpy.StoreSub(p, "gap", make([]float64, 4), []uint64{0}, []uint64{4}); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				dst := make([]float64, 8)
+				return pmemcpy.LoadSub(p, "gap", dst, []uint64{0}, []uint64{8})
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "OpenArray missing id",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.OpenArray[float64](p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "Compact missing id",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.Compact(p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "hierarchy Load missing id",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithLayout(pmemcpy.LayoutHierarchy)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.Load[int64](p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "hierarchy LoadSub missing blocks",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithLayout(pmemcpy.LayoutHierarchy)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "empty", 8); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				dst := make([]float64, 8)
+				return pmemcpy.LoadSub(p, "empty", dst, []uint64{0}, []uint64{8})
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "Load wrong element type",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Store(p, "scalar", int64(7)); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				_, err := pmemcpy.Load[float32](p, "scalar")
+				return err
+			},
+			want: pmemcpy.ErrTypeMismatch,
+		},
+		{
+			name: "LoadString on scalar",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Store(p, "scalar", int64(7)); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				_, err := pmemcpy.LoadString(p, "scalar")
+				return err
+			},
+			want: pmemcpy.ErrTypeMismatch,
+		},
+		{
+			name: "LoadStruct on scalar",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Store(p, "scalar", int64(7)); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				var out struct{ X int64 }
+				return pmemcpy.LoadStruct(p, "scalar", &out)
+			},
+			want: pmemcpy.ErrTypeMismatch,
+		},
+		{
+			name: "OpenArray wrong element type",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				_, err := pmemcpy.OpenArray[float32](p, "arr")
+				return err
+			},
+			want: pmemcpy.ErrTypeMismatch,
+		},
+		{
+			name: "Alloc conflicting dims",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				return pmemcpy.Alloc[float64](p, "arr", 32)
+			},
+			want: pmemcpy.ErrTypeMismatch,
+		},
+		{
+			name: "Alloc without dims",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				return pmemcpy.Alloc[float64](p, "arr")
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name: "StoreSub outside extent",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				return pmemcpy.StoreSub(p, "arr", make([]float64, 8), []uint64{12}, []uint64{8})
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name: "StoreSub rank mismatch",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				return pmemcpy.StoreSub(p, "arr", make([]float64, 4), []uint64{0, 0}, []uint64{2, 2})
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name: "Array LoadSub outside extent",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				a, err := pmemcpy.CreateArray[float64](p, "arr", 16)
+				if err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				return a.LoadSub(make([]float64, 8), []uint64{12}, []uint64{8})
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name: "Store media failure",
+			fn: func(p *pmemcpy.PMEM, n *pmemcpy.Node) error {
+				// 4 consecutive transient failures exceed the device's retry
+				// budget, escalating the next persist to an ErrMedia.
+				n.Device.InjectTransient(0, 4)
+				defer n.Device.DisarmInjection()
+				return pmemcpy.Store(p, "scalar", int64(7))
+			},
+			want: pmemcpy.ErrMedia,
+		},
+		{
+			name: "parallel StoreSub outside extent",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithParallelism(4)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "big", bigElems); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				return pmemcpy.StoreSub(p, "big", make([]float64, bigElems), []uint64{1}, []uint64{bigElems})
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name: "parallel StoreSub media failure",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithParallelism(4)},
+			fn: func(p *pmemcpy.PMEM, n *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "big", bigElems); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				n.Device.InjectTransient(0, 4)
+				defer n.Device.DisarmInjection()
+				return pmemcpy.StoreSub(p, "big", make([]float64, bigElems), []uint64{0}, []uint64{bigElems})
+			},
+			want: pmemcpy.ErrMedia,
+		},
+		{
+			name: "parallel gather coverage gap",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithReadParallelism(4)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				// Half the extent is stored (384 KB, over the parallel
+				// threshold); reading the full extent leaves a gap.
+				if err := pmemcpy.Alloc[float64](p, "big", bigElems); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := pmemcpy.StoreSub(p, "big", make([]float64, bigElems/2), []uint64{0}, []uint64{bigElems / 2}); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				dst := make([]float64, bigElems)
+				return pmemcpy.LoadSub(p, "big", dst, []uint64{0}, []uint64{bigElems})
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+			_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
+				p, err := pmemcpy.Mmap(c, n, "/conf.pool", tc.opts...)
+				if err != nil {
+					return fmt.Errorf("mmap: %v", err)
+				}
+				got := tc.fn(p, n)
+				if got == nil {
+					return fmt.Errorf("operation succeeded, want error wrapping %v", tc.want)
+				}
+				if !errors.Is(got, tc.want) {
+					return fmt.Errorf("error %q does not wrap %v", got, tc.want)
+				}
+				return p.Munmap()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDeleteAbsent pins that deleting an absent id reports existed=false
+// without an error — absence is an answer, not a failure.
+func TestDeleteAbsent(t *testing.T) {
+	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+	_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, n, "/del.pool")
+		if err != nil {
+			return err
+		}
+		if existed, err := p.Delete("missing"); err != nil || existed {
+			return fmt.Errorf("Delete(missing) = (%v, %v), want (false, nil)", existed, err)
+		}
+		a, err := pmemcpy.CreateArray[float64](p, "arr", 16)
+		if err != nil {
+			return err
+		}
+		if err := a.StoreSub(make([]float64, 16), []uint64{0}, []uint64{16}); err != nil {
+			return err
+		}
+		if existed, err := a.Delete(); err != nil || !existed {
+			return fmt.Errorf("Array.Delete = (%v, %v), want (true, nil)", existed, err)
+		}
+		if _, err := pmemcpy.LoadDims(p, "arr"); !errors.Is(err, pmemcpy.ErrNotFound) {
+			return fmt.Errorf("LoadDims after delete = %v, want ErrNotFound", err)
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

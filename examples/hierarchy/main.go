@@ -21,11 +21,10 @@ import (
 
 func main() {
 	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
-	opts := &pmemcpy.Options{Layout: pmemcpy.LayoutHierarchy}
 
 	const ranks = 2
 	_, err := pmemcpy.Run(node, ranks, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/dataset", opts)
+		pm, err := pmemcpy.Mmap(c, node, "/dataset", pmemcpy.WithLayout(pmemcpy.LayoutHierarchy))
 		if err != nil {
 			return err
 		}
@@ -64,7 +63,7 @@ func main() {
 
 	// Read one field back through the API.
 	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/dataset", opts)
+		pm, err := pmemcpy.Mmap(c, node, "/dataset", pmemcpy.WithLayout(pmemcpy.LayoutHierarchy))
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,13 @@ import (
 // return; the invariant is verified by the tests, which compare full-array
 // contents before and after.
 func (p *PMEM) Compact(id string) (int, error) {
+	done := p.beginOp(opCompact, id)
+	freed, err := p.compact(id)
+	done(false, 0, err)
+	return freed, err
+}
+
+func (p *PMEM) compact(id string) (int, error) {
 	if p.st.layout == LayoutHierarchy {
 		return 0, fmt.Errorf("core: Compact requires the hashtable layout")
 	}

@@ -30,6 +30,7 @@ import (
 
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
+	"pmemcpy/internal/obs"
 	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/serial"
 	"pmemcpy/internal/sim"
@@ -86,6 +87,19 @@ type Options struct {
 	// k gather workers. It exists so the read-parallel ablation can sweep
 	// readers while writes stay serial.
 	ReadParallelism int
+	// Metrics enables latency/shape histogram recording. Operation, device,
+	// allocator and cache counters are always on (plain atomics); histograms
+	// additionally read the virtual clock around every op, so they sit
+	// behind this switch. Metrics never advance the virtual clock either
+	// way — virtual-time results are identical with metrics on or off.
+	Metrics bool
+	// MetricsSampling records every k-th op in the latency histograms
+	// (0 or 1 = every op). Counters are never sampled.
+	MetricsSampling int
+	// Tracing enables span-style op tracing: every API call becomes a span
+	// and the persist/fence points it triggers nest under it. Retrieve with
+	// PMEM.TraceSpans.
+	Tracing bool
 }
 
 // PMEM is the library handle, the analogue of pmemcpy::PMEM in Figure 2.
@@ -116,6 +130,9 @@ type shared struct {
 	// cache is the DRAM block-index cache (blockcache.go), shared by every
 	// rank of the handle group like the pool itself.
 	cache *blockCache
+
+	// ins is the observability state (instrument.go), shared like the pool.
+	ins *instruments
 
 	// Copy-engine counters, surfaced through StoreStats.
 	parallelStores   atomic.Int64 // stores that took the parallel path
@@ -188,14 +205,18 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		if err := n.FS.MkdirAll(clk, path); err != nil {
 			return nil, err
 		}
-		return &shared{
+		st := &shared{
 			layout:  LayoutHierarchy,
 			mapSync: o.MapSync,
 			par:     par,
 			rpar:    rpar,
 			hier:    &hierStore{node: n, root: path},
 			cache:   newBlockCache(),
-		}, nil
+			ins:     newInstruments(o, n, nil),
+		}
+		st.ins.bridgeCache(st.cache)
+		installTracer(o, n, st)
+		return st, nil
 	}
 
 	poolSize := o.PoolSize
@@ -277,7 +298,7 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 	if err != nil {
 		return nil, err
 	}
-	return &shared{
+	st := &shared{
 		layout:  LayoutHashtable,
 		mapSync: o.MapSync,
 		staged:  o.StagedSerialization,
@@ -286,7 +307,24 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		pool:    pool,
 		ht:      ht,
 		cache:   newBlockCache(),
-	}, nil
+		ins:     newInstruments(o, n, pool),
+	}
+	st.ins.bridgeCache(st.cache)
+	installTracer(o, n, st)
+	return st, nil
+}
+
+// installTracer wires span tracing: the tracer becomes the device's event
+// sink, so every persist/fence is attributed to the op active on the issuing
+// rank's clock. The sink stays installed until another tracing handle group
+// replaces it; events outside any op are counted, not recorded.
+func installTracer(o *Options, n *node.Node, st *shared) {
+	if !o.Tracing {
+		return
+	}
+	tr := obs.NewTracer(0)
+	st.ins.tracer = tr
+	n.Device.SetEventSink(tr)
 }
 
 // Munmap closes the handle collectively: every rank's outstanding stores are
@@ -426,19 +464,26 @@ func (p *PMEM) chargeParallelRead(n int64, passes float64, workers int) {
 // pmem.alloc<T>): it stores dims under id+"#dims". Ranks may all call it;
 // the first definition wins and later identical definitions are no-ops.
 func (p *PMEM) Alloc(id string, dtype serial.DType, gdims []uint64) error {
+	done := p.beginOp(opAlloc, id)
+	err := p.alloc(id, dtype, gdims)
+	done(false, 0, err)
+	return err
+}
+
+func (p *PMEM) alloc(id string, dtype serial.DType, gdims []uint64) error {
 	if len(gdims) == 0 || len(gdims) > serial.MaxDims {
-		return fmt.Errorf("core: Alloc(%q) with rank %d", id, len(gdims))
+		return fmt.Errorf("core: Alloc(%q) with rank %d: %w", id, len(gdims), ErrOutOfBounds)
 	}
 	lock := p.varLock(id + DimsSuffix)
 	lock.Lock()
 	defer lock.Unlock()
 	if existing, err := p.loadDimsLocked(id); err == nil {
 		if len(existing.dims) != len(gdims) {
-			return fmt.Errorf("core: Alloc(%q) conflicts with existing dims %v", id, existing.dims)
+			return fmt.Errorf("core: Alloc(%q) conflicts with existing dims %v: %w", id, existing.dims, ErrTypeMismatch)
 		}
 		for i := range gdims {
 			if existing.dims[i] != gdims[i] {
-				return fmt.Errorf("core: Alloc(%q) conflicts with existing dims %v", id, existing.dims)
+				return fmt.Errorf("core: Alloc(%q) conflicts with existing dims %v: %w", id, existing.dims, ErrTypeMismatch)
 			}
 		}
 		if existing.dtype != dtype {

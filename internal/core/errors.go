@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"pmemcpy/internal/nd"
+	"pmemcpy/internal/pmem"
 )
 
 // Sentinel errors wrapped (with %w) by the failure paths of the store, so
@@ -14,11 +15,16 @@ var (
 	// block of it) does not exist in the store.
 	ErrNotFound = errors.New("id not found")
 	// ErrTypeMismatch reports that an id exists but holds a different
-	// element or value type than the caller requested.
+	// element or value type than the caller requested, or that a
+	// redeclaration (Alloc) conflicts with the id's existing dims.
 	ErrTypeMismatch = errors.New("type mismatch")
 	// ErrOutOfBounds reports an invalid block selection: outside the
 	// array's declared extent, rank-mismatched, or backed by a buffer too
 	// small for the selection. It is nd.ErrOutOfBounds, so validation
 	// errors raised inside the index arithmetic match it too.
 	ErrOutOfBounds = nd.ErrOutOfBounds
+	// ErrMedia reports an uncorrectable (injected) media error that outlasted
+	// the device's retry/backoff budget. It is pmem.ErrMedia, so callers can
+	// branch on the failure class without importing the device package.
+	ErrMedia = pmem.ErrMedia
 )

@@ -156,7 +156,7 @@ func (h *hierStore) loadDatum(p *PMEM, id string) (*serial.Datum, error) {
 		return nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("core: id %q not found", id)
+		return nil, fmt.Errorf("core: id %q: %w", id, ErrNotFound)
 	}
 	if len(raw) < 1 {
 		return nil, fmt.Errorf("core: empty value file for %q", id)
@@ -229,7 +229,7 @@ func (h *hierStore) loadBlock(p *PMEM, id string, rec dimsRecord, offs, counts [
 	}
 	f, err := h.node.FS.Open(clk, fp)
 	if err != nil {
-		return fmt.Errorf("core: id %q has no stored blocks", id)
+		return fmt.Errorf("core: id %q has no stored blocks: %w", id, ErrNotFound)
 	}
 	defer f.Close()
 	esize := rec.dtype.Size()
@@ -285,7 +285,7 @@ func (h *hierStore) loadBlock(p *PMEM, id string, rec dimsRecord, offs, counts [
 		covered += int64(nd.Size(isCnts)) * int64(esize)
 	}
 	if covered < need {
-		return fmt.Errorf("core: request on %q only covered %d of %d bytes", id, covered, need)
+		return fmt.Errorf("core: request on %q only covered %d of %d bytes: %w", id, covered, need, ErrNotFound)
 	}
 	return nil
 }

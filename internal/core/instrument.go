@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/obs"
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/pmem"
+)
+
+// Observability wiring. Every handle group (one Mmap collective) owns an
+// obs.Registry holding three families of metrics:
+//
+//   - op counters (count, error count, bytes) per API operation and path
+//     (serial vs parallel): plain atomics, always on;
+//   - op latency and shard/queue histograms in virtual ns: recorded only when
+//     Options.Metrics is set, downsampled by Options.MetricsSampling;
+//   - bridge series (CounterFunc/GaugeFunc) reading counters that already
+//     live elsewhere — the pmem device, the pmdk allocator, the block-index
+//     cache — at snapshot time, so nothing is double-counted.
+//
+// None of it touches the virtual clock: observing a store can never change
+// its modelled latency, so virtual-time results are bit-identical with
+// metrics on or off (E14 measures the host-side wall-clock cost instead).
+//
+// The device bridge series report device-lifetime totals: a node hosting two
+// handle groups (e.g. a differential test driving two libraries) sees the
+// shared device's combined counts in both snapshots.
+
+// op indices for the instrument table.
+const (
+	opAlloc = iota
+	opDelete
+	opCompact
+	opStoreDatum
+	opLoadDatum
+	opStoreBlock
+	opLoadBlock
+	nOps
+)
+
+var opNames = [nOps]string{
+	opAlloc:      "alloc",
+	opDelete:     "delete",
+	opCompact:    "compact",
+	opStoreDatum: "store_datum",
+	opLoadDatum:  "load_datum",
+	opStoreBlock: "store_block",
+	opLoadBlock:  "load_block",
+}
+
+// pathSerial/pathParallel index the per-path instrument slots.
+const (
+	pathSerial = iota
+	pathParallel
+	nPaths
+)
+
+var pathNames = [nPaths]string{"serial", "parallel"}
+
+// opInstr is one (op, path) series set.
+type opInstr struct {
+	count *obs.Counter
+	errs  *obs.Counter
+	bytes *obs.Counter
+	lat   *obs.Histogram
+}
+
+// instruments is the handle group's observability state, shared by every
+// rank's handle like the pool itself.
+type instruments struct {
+	reg     *obs.Registry
+	enabled bool // histograms on (Options.Metrics)
+	tracer  *obs.Tracer
+
+	sampling  int64 // observe every k-th op latency (<=1: every op)
+	sampleCtr atomic.Int64
+
+	ops [nOps][nPaths]*opInstr
+
+	// Parallel-engine shape histograms (imbalance is read off the shard-bytes
+	// spread; queue depth is the gather plan's job count per parallel load).
+	shardBytes     *obs.Histogram
+	gatherJobBytes *obs.Histogram
+	gatherDepth    *obs.Histogram
+}
+
+// newInstruments builds the registry for one handle group. pool is nil for
+// the hierarchy layout.
+func newInstruments(o *Options, n *node.Node, pool *pmdk.Pool) *instruments {
+	in := &instruments{
+		reg:      obs.NewRegistry(),
+		enabled:  o.Metrics,
+		sampling: int64(o.MetricsSampling),
+	}
+	reg := in.reg
+	for op := 0; op < nOps; op++ {
+		for pa := 0; pa < nPaths; pa++ {
+			// Only block/datum stores and block loads have a parallel path;
+			// registering the serial slot alone keeps the exposition free of
+			// always-zero series.
+			if pa == pathParallel &&
+				op != opStoreDatum && op != opStoreBlock && op != opLoadBlock {
+				in.ops[op][pa] = in.ops[op][pathSerial]
+				continue
+			}
+			labels := []obs.Label{
+				{Key: "op", Value: opNames[op]},
+				{Key: "path", Value: pathNames[pa]},
+			}
+			in.ops[op][pa] = &opInstr{
+				count: reg.Counter("pmemcpy_op_total", "API operations", labels...),
+				errs:  reg.Counter("pmemcpy_op_errors_total", "API operations that returned an error", labels...),
+				bytes: reg.Counter("pmemcpy_op_bytes_total", "payload bytes moved by API operations", labels...),
+				lat:   reg.Histogram("pmemcpy_op_latency_ns", "op latency in virtual ns (power-of-two buckets)", labels...),
+			}
+		}
+	}
+	in.shardBytes = reg.Histogram("pmemcpy_shard_bytes",
+		"encoded bytes per shard written by the parallel store engine")
+	in.gatherJobBytes = reg.Histogram("pmemcpy_gather_job_bytes",
+		"bytes per copy job executed by the parallel gather engine")
+	in.gatherDepth = reg.Histogram("pmemcpy_gather_queue_depth",
+		"jobs queued per parallel gather (worker-pool depth)")
+
+	dev := n.Device
+	reg.CounterFunc("pmemcpy_device_persists_total", "successful device persists",
+		func() int64 { return dev.Counters().Persists })
+	reg.CounterFunc("pmemcpy_device_fences_total", "device fences",
+		func() int64 { return dev.Counters().Fences })
+	reg.CounterFunc("pmemcpy_device_persisted_bytes_total", "bytes covered by persists",
+		func() int64 { return dev.Counters().PersistedBytes })
+	reg.CounterFunc("pmemcpy_device_read_bytes_total", "bytes charged through the device read port",
+		func() int64 { return dev.Counters().ReadBytes })
+	reg.CounterFunc("pmemcpy_device_written_bytes_total", "bytes charged through the device write port",
+		func() int64 { return dev.Counters().WrittenBytes })
+	reg.CounterFunc("pmemcpy_device_persist_retries_total", "transient persist failures absorbed by retry/backoff",
+		dev.PersistRetries)
+	reg.CounterFunc("pmemcpy_device_media_failures_total", "persists escalated to ErrMedia",
+		dev.MediaFailures)
+
+	if pool != nil {
+		reg.CounterFunc("pmemcpy_alloc_allocs_total", "allocator blocks handed out",
+			func() int64 { return pool.Stats().Allocs })
+		reg.CounterFunc("pmemcpy_alloc_frees_total", "allocator blocks returned",
+			func() int64 { return pool.Stats().Frees })
+		reg.CounterFunc("pmemcpy_alloc_alloc_bytes_total", "block bytes handed out (headers included)",
+			func() int64 { return pool.Stats().AllocBytes })
+		reg.CounterFunc("pmemcpy_alloc_free_bytes_total", "block bytes returned via Free",
+			func() int64 { return pool.Stats().FreeBytes })
+		reg.CounterFunc("pmemcpy_alloc_extents_total", "extents reserved off the shared brk",
+			func() int64 { return pool.Stats().Extents })
+		reg.CounterFunc("pmemcpy_alloc_extent_bytes_total", "heap bytes reserved off the brk",
+			func() int64 { return pool.Stats().ExtentBytes })
+		reg.GaugeFunc("pmemcpy_alloc_live_bytes", "allocated minus freed block bytes (fragmentation = 1 - live/extent)",
+			func() int64 { s := pool.Stats(); return s.AllocBytes - s.FreeBytes })
+		reg.CounterFunc("pmemcpy_alloc_transactions_total", "committed transactions",
+			func() int64 { return pool.Stats().Transactions })
+		reg.CounterFunc("pmemcpy_alloc_aborts_total", "aborted transactions",
+			func() int64 { return pool.Stats().Aborts })
+		reg.CounterFunc("pmemcpy_alloc_arena_steals_total", "allocations served by a non-home arena",
+			func() int64 { return pool.Stats().ArenaSteals })
+	}
+	return in
+}
+
+// bridgeCache registers the block-index cache series (the cache is created
+// alongside the instruments; registration is split so openShared can build
+// the shared struct in one literal).
+func (in *instruments) bridgeCache(c *blockCache) {
+	in.reg.CounterFunc("pmemcpy_cache_hits_total", "block-index cache hits",
+		c.hits.Load)
+	in.reg.CounterFunc("pmemcpy_cache_misses_total", "block-index cache misses",
+		c.misses.Load)
+	in.reg.CounterFunc("pmemcpy_cache_invalidations_total", "block-index cache invalidations",
+		c.invalidations.Load)
+}
+
+// sample reports whether this op's latency should be observed.
+func (in *instruments) sample() bool {
+	if in.sampling <= 1 {
+		return true
+	}
+	return in.sampleCtr.Add(1)%in.sampling == 0
+}
+
+// opDone finishes an instrumented op: parallel selects the path label, bytes
+// is the payload moved (0 when not meaningful), err the op's result.
+type opDone func(parallel bool, bytes int64, err error)
+
+// beginOp opens instrumentation for one API call on the calling rank. The
+// cheap path (metrics and tracing off) is two branch checks plus the atomic
+// counter adds in the returned closure.
+func (p *PMEM) beginOp(op int, id string) opDone {
+	in := p.st.ins
+	clk := p.comm.Clock()
+	var start int64
+	if in.enabled {
+		start = int64(clk.Now())
+	}
+	if in.tracer != nil {
+		in.tracer.StartOp(clk, opNames[op], id, p.comm.Rank())
+	}
+	return func(parallel bool, bytes int64, err error) {
+		if in.tracer != nil {
+			in.tracer.EndOp(clk, err)
+		}
+		pa := pathSerial
+		if parallel {
+			pa = pathParallel
+		}
+		oi := in.ops[op][pa]
+		oi.count.Inc()
+		oi.bytes.Add(bytes)
+		if err != nil {
+			oi.errs.Inc()
+		}
+		if in.enabled && in.sample() {
+			oi.lat.Observe(int64(clk.Now()) - start)
+		}
+	}
+}
+
+// Metrics returns a point-in-time snapshot of every metric series of this
+// handle group: op counters and latency histograms, parallel-engine shape
+// histograms, and the device/allocator/cache bridge series. Counters are
+// always live; histograms fill only when the handle was mapped WithMetrics.
+// Taking a snapshot never advances virtual time.
+func (p *PMEM) Metrics() obs.Snapshot {
+	return p.st.ins.reg.Snapshot()
+}
+
+// MetricsEnabled reports whether histogram recording is on for this handle.
+func (p *PMEM) MetricsEnabled() bool { return p.st.ins.enabled }
+
+// TracingEnabled reports whether span tracing is on for this handle.
+func (p *PMEM) TracingEnabled() bool { return p.st.ins.tracer != nil }
+
+// TraceSpans returns the completed op spans recorded so far (nil when the
+// handle was not mapped WithTracing). Dump them with obs.WriteTraceJSON or
+// obs.WriteChromeTrace.
+func (p *PMEM) TraceSpans() []obs.Span {
+	if p.st.ins.tracer == nil {
+		return nil
+	}
+	return p.st.ins.tracer.Spans()
+}
+
+var _ pmem.EventSink = (*obs.Tracer)(nil)

@@ -3,6 +3,7 @@ package core
 import (
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
+	"pmemcpy/internal/obs"
 	"pmemcpy/internal/pio"
 )
 
@@ -28,6 +29,13 @@ type Library struct {
 	// ReadParallelism overrides the gather-engine worker count
 	// (0: follow Parallelism; 1: serial reads).
 	ReadParallelism int
+	// Metrics enables latency/shape histograms on the sessions this library
+	// opens (counters are always on regardless).
+	Metrics bool
+	// MetricsSampling records every k-th histogram observation (<=1: all).
+	MetricsSampling int
+	// Tracing enables span-style operation tracing on sessions.
+	Tracing bool
 }
 
 // Name implements pio.Library.
@@ -47,6 +55,9 @@ func (l Library) options() *Options {
 		StagedSerialization: l.Staged,
 		Parallelism:         l.Parallelism,
 		ReadParallelism:     l.ReadParallelism,
+		Metrics:             l.Metrics,
+		MetricsSampling:     l.MetricsSampling,
+		Tracing:             l.Tracing,
 	}
 }
 
@@ -59,6 +70,12 @@ func (l Library) WithParallelism(p int) pio.Library {
 // WithReadParallelism implements pio.ReadParallelizable.
 func (l Library) WithReadParallelism(p int) pio.Library {
 	l.ReadParallelism = p
+	return l
+}
+
+// WithMetrics implements pio.Instrumentable.
+func (l Library) WithMetrics() pio.Library {
+	l.Metrics = true
 	return l
 }
 
@@ -116,12 +133,17 @@ func (s *session) Close() error {
 	return s.p.Munmap()
 }
 
+// Metrics implements pio.Instrumented.
+func (s *session) Metrics() obs.Snapshot { return s.p.Metrics() }
+
 var (
 	_ pio.Writer         = (*session)(nil)
 	_ pio.Reader         = (*session)(nil)
+	_ pio.Instrumented   = (*session)(nil)
 	_ pio.Library            = Library{}
 	_ pio.Parallelizable     = Library{}
 	_ pio.ReadParallelizable = Library{}
+	_ pio.Instrumentable     = Library{}
 )
 
 // Handle returns the underlying PMEM for callers that need the full API.

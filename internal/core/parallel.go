@@ -78,8 +78,9 @@ func (p *PMEM) parallelEligible(counts []uint64, encSize int64) bool {
 		len(counts) > 0 && counts[0] > 1
 }
 
-// storeBlockParallel is StoreBlock's sharded write path.
-func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint64, d *serial.Datum) error {
+// storeBlockParallel is StoreBlock's sharded write path. It returns the total
+// encoded bytes written.
+func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint64, d *serial.Datum) (int64, error) {
 	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	shards := splitShards(d, offs, counts, p.st.par)
@@ -90,18 +91,18 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	// 1. One batched transaction allocates every shard's block.
 	tx, err := p.st.pool.Begin(clk)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i := range shards {
 		blk, err := p.st.pool.Alloc(tx, shards[i].encLen)
 		if err != nil {
 			tx.Abort()
-			return err
+			return 0, err
 		}
 		shards[i].blk = blk
 	}
 	if err := tx.Commit(); err != nil {
-		return err
+		return 0, err
 	}
 
 	// 2. Capture every destination range up front (the crash simulator's
@@ -113,10 +114,10 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	for i := range shards {
 		dst, err := p.st.pool.Slice(shards[i].blk, shards[i].encLen)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := p.st.pool.Mapping().Capture(int64(shards[i].blk), shards[i].encLen); err != nil {
-			return err
+			return 0, err
 		}
 		dsts[i] = dst
 	}
@@ -138,14 +139,19 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 			// The allocated blocks stay unpublished; like the serial path's
 			// post-commit failures they are garbage a Compact can reclaim,
 			// never dangling pointers.
-			return fmt.Errorf("core: parallel store of %q shard %d: %w", id, i, errs[i])
+			return 0, fmt.Errorf("core: parallel store of %q shard %d: %w", id, i, errs[i])
 		}
 		total += shards[i].wrote
+	}
+	if in := p.st.ins; in.enabled {
+		for i := range shards {
+			in.shardBytes.Observe(shards[i].wrote)
+		}
 	}
 	p.chargeParallelStore(total, encPasses, len(shards))
 	for i := range shards {
 		if err := p.st.pool.Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote, ptBlockShard); err != nil {
-			return err
+			return 0, err
 		}
 	}
 
@@ -156,7 +162,7 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	defer lock.Unlock()
 	blocks, _, err := p.loadBlockList(id)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i := range shards {
 		blocks = append(blocks, blockRec{
@@ -168,40 +174,40 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 		})
 	}
 	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
-		return err
+		return 0, err
 	}
 	p.invalidateCache(id)
 	p.st.parallelStores.Add(1)
 	p.st.parallelBlocks.Add(int64(len(shards)))
-	return nil
+	return total, nil
 }
 
 // storeDatumParallel is StoreDatum's chunked write path for identity-encoding
 // codecs (raw): the single destination block is cut into byte ranges copied
 // by concurrent workers. Only valid when the codec's encoding is a plain
 // payload copy, since workers write disjoint sub-ranges of one encode.
-func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) error {
+func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	need := int64(len(d.Payload)) + 1
 	tx, err := p.st.pool.Begin(clk)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	blk, err := p.st.pool.Alloc(tx, need)
 	if err != nil {
 		tx.Abort()
-		return err
+		return 0, err
 	}
 	if err := tx.Commit(); err != nil {
-		return err
+		return 0, err
 	}
 	dst, err := p.st.pool.Slice(blk, need)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := p.st.pool.Mapping().Capture(int64(blk), need); err != nil {
-		return err
+		return 0, err
 	}
 	dst[0] = byte(d.Type)
 	workers := p.st.par
@@ -226,19 +232,22 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) error {
 		}(lo, hi)
 	}
 	wg.Wait()
+	if in := p.st.ins; in.enabled {
+		in.shardBytes.Observe(chunk)
+	}
 	p.chargeParallelStore(need, encPasses, workers)
 	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumChunk); err != nil {
-		return err
+		return 0, err
 	}
 	rec := encodeValueRef(blk, need)
 	lock := p.varLock(id)
 	lock.Lock()
 	defer lock.Unlock()
 	if err := p.putValue(id, rec); err != nil {
-		return err
+		return 0, err
 	}
 	p.invalidateCache(id)
 	p.st.parallelStores.Add(1)
 	p.st.parallelBlocks.Add(int64(workers))
-	return nil
+	return need, nil
 }

@@ -193,6 +193,12 @@ func (p *PMEM) loadJobsParallel(jobs []copyJob, offs, counts []uint64, dst []byt
 	if len(jobs) < workers {
 		workers = len(jobs)
 	}
+	if in := p.st.ins; in.enabled {
+		in.gatherDepth.Observe(int64(len(jobs)))
+		for i := range jobs {
+			in.gatherJobBytes.Observe(jobs[i].bytes)
+		}
+	}
 	srcs := make([][]byte, len(jobs))
 	for i := range jobs {
 		src, err := p.st.pool.Slice(jobs[i].src.data, jobs[i].src.encLen)

@@ -31,6 +31,13 @@ func (p *PMEM) getValue(id string) ([]byte, bool, error) {
 // Delete removes id (and not its "#dims" companion; delete that separately
 // if desired). It reports whether the id existed.
 func (p *PMEM) Delete(id string) (bool, error) {
+	done := p.beginOp(opDelete, id)
+	existed, err := p.deleteValue(id)
+	done(false, 0, err)
+	return existed, err
+}
+
+func (p *PMEM) deleteValue(id string) (bool, error) {
 	clk := p.comm.Clock()
 	lock := p.varLock(id)
 	lock.Lock()
@@ -118,49 +125,57 @@ func (p *PMEM) Keys() ([]string, error) {
 // StoreDatum stores a complete datum (scalar, string, or whole array) under
 // id. The value is serialized with the handle's codec directly into PMEM.
 func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
+	done := p.beginOp(opStoreDatum, id)
+	bytes, parallel, err := p.storeDatum(id, d)
+	done(parallel, bytes, err)
+	return err
+}
+
+func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 	if err := d.Validate(); err != nil {
-		return err
+		return 0, false, err
 	}
 	encPasses, _ := p.codec.CostProfile()
+	need := int64(p.codec.EncodedSize(d)) + 1
 	if p.st.layout == LayoutHierarchy {
-		return p.st.hier.storeDatum(p, id, d)
+		return need, false, p.st.hier.storeDatum(p, id, d)
 	}
 	// Serialize directly into a PMEM block, then publish it as the KV value
 	// via a small pointer record. A 1-byte type prefix lets non-self-
 	// describing codecs decode.
 	clk := p.comm.Clock()
-	need := int64(p.codec.EncodedSize(d)) + 1
 	if ie, ok := p.codec.(serial.IdentityEncoder); ok && ie.IdentityEncode() &&
 		p.st.par > 1 && !p.st.staged && need >= parallelMinBytes {
-		return p.storeDatumParallel(id, d)
+		n, err := p.storeDatumParallel(id, d)
+		return n, true, err
 	}
 	tx, err := p.st.pool.Begin(clk)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	blk, err := p.st.pool.Alloc(tx, need)
 	if err != nil {
 		tx.Abort()
-		return err
+		return 0, false, err
 	}
 	if err := tx.Commit(); err != nil {
-		return err
+		return 0, false, err
 	}
 	dst, err := p.st.pool.Slice(blk, need)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	if err := p.st.pool.Mapping().Capture(int64(blk), need); err != nil {
-		return err
+		return 0, false, err
 	}
 	dst[0] = byte(d.Type)
 	wrote, err := p.codec.EncodeTo(dst[1:], d)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	p.chargeStoreBytes(int64(wrote)+1, encPasses)
 	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumPayload); err != nil {
-		return err
+		return 0, false, err
 	}
 	// Publish: the KV value is a (pmid, len) pointer record.
 	rec := encodeValueRef(blk, int64(wrote)+1)
@@ -168,17 +183,28 @@ func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
 	lock.Lock()
 	defer lock.Unlock()
 	if err := p.putValue(id, rec); err != nil {
-		return err
+		return 0, false, err
 	}
 	p.invalidateCache(id)
-	return nil
+	return int64(wrote) + 1, false, nil
 }
 
 // LoadDatum loads a datum stored with StoreDatum, deserializing directly
 // from PMEM. The returned payload is a private copy.
 func (p *PMEM) LoadDatum(id string) (*serial.Datum, error) {
+	done := p.beginOp(opLoadDatum, id)
+	d, bytes, err := p.loadDatum(id)
+	done(false, bytes, err)
+	return d, err
+}
+
+func (p *PMEM) loadDatum(id string) (*serial.Datum, int64, error) {
 	if p.st.layout == LayoutHierarchy {
-		return p.st.hier.loadDatum(p, id)
+		d, err := p.st.hier.loadDatum(p, id)
+		if d != nil {
+			return d, int64(len(d.Payload)), err
+		}
+		return d, 0, err
 	}
 	clk := p.comm.Clock()
 	// The record read shares the id's lock: a concurrent republish frees the
@@ -190,31 +216,31 @@ func (p *PMEM) LoadDatum(id string) (*serial.Datum, error) {
 	raw, ok, err := p.getValue(id)
 	lock.RUnlock()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("core: id %q: %w", id, ErrNotFound)
+		return nil, 0, fmt.Errorf("core: id %q: %w", id, ErrNotFound)
 	}
 	blk, n, err := decodeValueRef(raw)
 	if err != nil {
 		// The id exists but holds something else (a block list, raw
 		// metadata): a kind mismatch, not a missing id.
-		return nil, fmt.Errorf("core: id %q does not hold a datum: %w", id, ErrTypeMismatch)
+		return nil, 0, fmt.Errorf("core: id %q does not hold a datum: %w", id, ErrTypeMismatch)
 	}
 	src, err := p.st.pool.Slice(blk, n)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	hint := &serial.Datum{Type: serial.DType(src[0])}
 	d, err := p.codec.Decode(src[1:], hint)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	_, decPasses := p.codec.CostProfile()
 	p.chargeDirectRead(n, decPasses)
 	out := d.Clone() // the caller's datum must not alias the pool
 	_ = clk
-	return out, nil
+	return out, n, nil
 }
 
 // valueRefTag distinguishes single-value pointer records from block lists;
@@ -257,60 +283,68 @@ type blockRec struct {
 // dimensions must have been declared with Alloc. data holds the block's
 // row-major bytes.
 func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
+	done := p.beginOp(opStoreBlock, id)
+	bytes, parallel, err := p.storeBlock(id, offs, counts, data)
+	done(parallel, bytes, err)
+	return err
+}
+
+func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64, bool, error) {
 	rec, err := p.loadDimsLocked(id)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
-		return err
+		return 0, false, err
 	}
 	esize := rec.dtype.Size()
 	need := int64(nd.Size(counts)) * int64(esize)
 	if int64(len(data)) < need {
-		return fmt.Errorf("core: data %d bytes, block needs %d: %w", len(data), need, ErrOutOfBounds)
+		return 0, false, fmt.Errorf("core: data %d bytes, block needs %d: %w", len(data), need, ErrOutOfBounds)
 	}
 	d := &serial.Datum{Type: rec.dtype, Dims: counts, Payload: data[:need]}
 	if p.st.layout == LayoutHierarchy {
-		return p.st.hier.storeBlock(p, id, offs, d)
+		return need, false, p.st.hier.storeBlock(p, id, offs, d)
 	}
 
 	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	encSize := int64(p.codec.EncodedSize(d))
 	if p.parallelEligible(counts, encSize) {
-		return p.storeBlockParallel(id, rec, offs, counts, d)
+		n, err := p.storeBlockParallel(id, rec, offs, counts, d)
+		return n, true, err
 	}
 
 	// 1. Allocate the data block (transactional metadata update).
 	tx, err := p.st.pool.Begin(clk)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	blk, err := p.st.pool.Alloc(tx, encSize)
 	if err != nil {
 		tx.Abort()
-		return err
+		return 0, false, err
 	}
 	if err := tx.Commit(); err != nil {
-		return err
+		return 0, false, err
 	}
 
 	// 2. Serialize DIRECTLY into the mapped PMEM block — the single pass
 	// that defines pMEMCPY — and persist it.
 	dst, err := p.st.pool.Slice(blk, encSize)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	if err := p.st.pool.Mapping().Capture(int64(blk), encSize); err != nil {
-		return err
+		return 0, false, err
 	}
 	wrote, err := p.codec.EncodeTo(dst, d)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	p.chargeStoreBytes(int64(wrote), encPasses)
 	if err := p.st.pool.Mapping().Persist(clk, int64(blk), int64(wrote), ptBlockPayload); err != nil {
-		return err
+		return 0, false, err
 	}
 
 	// 3. Publish the block in the variable's block list.
@@ -319,7 +353,7 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 	defer lock.Unlock()
 	blocks, _, err := p.loadBlockList(id)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	blocks = append(blocks, blockRec{
 		dtype:  rec.dtype,
@@ -329,10 +363,10 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 		encLen: int64(wrote),
 	})
 	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
-		return err
+		return 0, false, err
 	}
 	p.invalidateCache(id)
-	return nil
+	return int64(wrote), false, nil
 }
 
 // LoadBlock fills dst with the block (offs, counts) of array id, gathering
@@ -342,46 +376,54 @@ func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
 // large non-overlapping plans on a handle with read workers, executed by the
 // parallel gather engine (readplan.go).
 func (p *PMEM) LoadBlock(id string, offs, counts []uint64, dst []byte) error {
+	done := p.beginOp(opLoadBlock, id)
+	bytes, parallel, err := p.loadBlock(id, offs, counts, dst)
+	done(parallel, bytes, err)
+	return err
+}
+
+func (p *PMEM) loadBlock(id string, offs, counts []uint64, dst []byte) (int64, bool, error) {
 	if p.st.layout == LayoutHierarchy {
 		rec, err := p.loadDimsLocked(id)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
-			return err
+			return 0, false, err
 		}
 		esize := rec.dtype.Size()
 		need := int64(nd.Size(counts)) * int64(esize)
 		if int64(len(dst)) < need {
-			return fmt.Errorf("core: dst %d bytes, block needs %d: %w", len(dst), need, ErrOutOfBounds)
+			return 0, false, fmt.Errorf("core: dst %d bytes, block needs %d: %w", len(dst), need, ErrOutOfBounds)
 		}
-		return p.st.hier.loadBlock(p, id, rec, offs, counts, dst)
+		return need, false, p.st.hier.loadBlock(p, id, rec, offs, counts, dst)
 	}
 
 	entry, _, err := p.blockIndex(id)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	rec := entry.dims
 	if err := nd.CheckBlock(rec.dims, offs, counts); err != nil {
-		return err
+		return 0, false, err
 	}
 	esize := rec.dtype.Size()
 	need := int64(nd.Size(counts)) * int64(esize)
 	if int64(len(dst)) < need {
-		return fmt.Errorf("core: dst %d bytes, block needs %d: %w", len(dst), need, ErrOutOfBounds)
+		return 0, false, fmt.Errorf("core: dst %d bytes, block needs %d: %w", len(dst), need, ErrOutOfBounds)
 	}
 	if err := entry.checkEntry(id); err != nil {
-		return err
+		return 0, false, err
 	}
 	jobs, covered := planGather(entry, offs, counts, esize)
 	if covered < need {
-		return fmt.Errorf("core: request on %q only covered %d of %d bytes", id, covered, need)
+		return 0, false, fmt.Errorf("core: request on %q only covered %d of %d bytes: %w",
+			id, covered, need, ErrNotFound)
 	}
 	if p.readParallelEligible(covered) && !jobsOverlap(jobs) {
-		return p.loadJobsParallel(jobs, offs, counts, dst, esize, covered)
+		return covered, true, p.loadJobsParallel(jobs, offs, counts, dst, esize, covered)
 	}
-	return p.loadJobsSerial(jobs, offs, counts, dst, esize)
+	return covered, false, p.loadJobsSerial(jobs, offs, counts, dst, esize)
 }
 
 // loadBlockList reads and decodes the block list stored under id.

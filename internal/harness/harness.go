@@ -15,6 +15,7 @@ import (
 	"pmemcpy/internal/bytesview"
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
+	"pmemcpy/internal/obs"
 	"pmemcpy/internal/pio"
 	"pmemcpy/internal/sim"
 	"pmemcpy/internal/workload"
@@ -50,6 +51,10 @@ type Params struct {
 	// (libraries that do not implement pio.ReadParallelizable ignore it;
 	// 0 follows Parallelism, 1 forces serial reads).
 	ReadParallelism int
+	// Metrics asks the library for instrumented sessions (libraries that do
+	// not implement pio.Instrumentable ignore it) and captures an
+	// observability snapshot per phase into the Result.
+	Metrics bool
 }
 
 // Result is one (library, ranks) measurement.
@@ -59,6 +64,13 @@ type Result struct {
 	Bytes   int64
 	Write   time.Duration
 	Read    time.Duration
+	// WriteMetrics and ReadMetrics are the per-phase observability snapshots,
+	// captured on rank 0 after the collective Close (so every rank's
+	// operations are included). Empty unless Params.Metrics was set and the
+	// library's sessions implement pio.Instrumented; for multi-run averages
+	// they are the last run's snapshots.
+	WriteMetrics obs.Snapshot
+	ReadMetrics  obs.Snapshot
 }
 
 // String renders a result row.
@@ -83,6 +95,11 @@ func Run(lib pio.Library, p Params) (Result, error) {
 			lib = rp.WithReadParallelism(p.ReadParallelism)
 		}
 	}
+	if p.Metrics {
+		if iz, ok := lib.(pio.Instrumentable); ok {
+			lib = iz.WithMetrics()
+		}
+	}
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}
 	for i := 0; i < p.Runs; i++ {
 		one, err := runOnce(lib, p)
@@ -92,6 +109,8 @@ func Run(lib pio.Library, p Params) (Result, error) {
 		res.Bytes = one.Bytes
 		res.Write += one.Write
 		res.Read += one.Read
+		res.WriteMetrics = one.WriteMetrics
+		res.ReadMetrics = one.ReadMetrics
 	}
 	res.Write /= time.Duration(p.Runs)
 	res.Read /= time.Duration(p.Runs)
@@ -113,6 +132,7 @@ func runOnce(lib pio.Library, p Params) (Result, error) {
 	// ---- Write phase: open/mmap .. close, max over ranks ----
 	n.Machine.SetConcurrency(p.Ranks)
 	var writeTime time.Duration
+	var writeSnap, readSnap obs.Snapshot
 	_, err = mpi.Run(n.Machine, p.Ranks, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		buf := make([]float64, spec.BlockElems())
@@ -140,6 +160,13 @@ func runOnce(lib pio.Library, p Params) (Result, error) {
 		}
 		if err := w.Close(); err != nil {
 			return err
+		}
+		// Close is collective, so by the time rank 0 returns from it every
+		// rank's operations have landed in the shared registry.
+		if p.Metrics && rank == 0 {
+			if im, ok := w.(pio.Instrumented); ok {
+				writeSnap = im.Metrics()
+			}
 		}
 		dt := c.Clock().Now() - t0 - genTime
 		mx, err := c.AllreduceU64(uint64(dt), mpi.OpMax)
@@ -198,6 +225,11 @@ func runOnce(lib pio.Library, p Params) (Result, error) {
 		if err := r.Close(); err != nil {
 			return err
 		}
+		if p.Metrics && rank == 0 {
+			if im, ok := r.(pio.Instrumented); ok {
+				readSnap = im.Metrics()
+			}
+		}
 		dt := c.Clock().Now() - t1 - verifyTime
 		mx, err := c.AllreduceU64(uint64(dt), mpi.OpMax)
 		if err != nil {
@@ -212,11 +244,13 @@ func runOnce(lib pio.Library, p Params) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Library: lib.Name(),
-		Ranks:   p.Ranks,
-		Bytes:   spec.TotalBytes(),
-		Write:   writeTime,
-		Read:    readTime,
+		Library:      lib.Name(),
+		Ranks:        p.Ranks,
+		Bytes:        spec.TotalBytes(),
+		Write:        writeTime,
+		Read:         readTime,
+		WriteMetrics: writeSnap,
+		ReadMetrics:  readSnap,
 	}, nil
 }
 

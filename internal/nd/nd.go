@@ -116,7 +116,7 @@ func Runs(dims, offs, counts []uint64, esize int, fn func(globalOff, blockOff, n
 func CopyIn(global []byte, dims []uint64, offs, counts []uint64, local []byte, esize int) error {
 	want := int64(Size(counts)) * int64(esize)
 	if int64(len(local)) < want {
-		return fmt.Errorf("nd: local buffer %d bytes, block needs %d", len(local), want)
+		return fmt.Errorf("nd: local buffer %d bytes, block needs %d: %w", len(local), want, ErrOutOfBounds)
 	}
 	return Runs(dims, offs, counts, esize, func(gOff, bOff, n int64) error {
 		if gOff+n > int64(len(global)) {
@@ -131,7 +131,7 @@ func CopyIn(global []byte, dims []uint64, offs, counts []uint64, local []byte, e
 func CopyOut(global []byte, dims []uint64, offs, counts []uint64, local []byte, esize int) error {
 	want := int64(Size(counts)) * int64(esize)
 	if int64(len(local)) < want {
-		return fmt.Errorf("nd: local buffer %d bytes, block needs %d", len(local), want)
+		return fmt.Errorf("nd: local buffer %d bytes, block needs %d: %w", len(local), want, ErrOutOfBounds)
 	}
 	return Runs(dims, offs, counts, esize, func(gOff, bOff, n int64) error {
 		if gOff+n > int64(len(global)) {

@@ -10,6 +10,7 @@ import (
 
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
+	"pmemcpy/internal/obs"
 	"pmemcpy/internal/serial"
 )
 
@@ -86,4 +87,20 @@ type Parallelizable interface {
 type ReadParallelizable interface {
 	Library
 	WithReadParallelism(p int) Library
+}
+
+// Instrumented is implemented by sessions (Writers/Readers) that expose an
+// observability snapshot. The harness captures it on rank 0 before Close so
+// benchmark tools can write a Prometheus-style exposition next to results.
+type Instrumented interface {
+	Metrics() obs.Snapshot
+}
+
+// Instrumentable is implemented by libraries whose sessions can record
+// latency/shape histograms on demand. WithMetrics returns a copy of the
+// library whose sessions have histogram recording enabled; counters are
+// always on regardless.
+type Instrumentable interface {
+	Library
+	WithMetrics() Library
 }

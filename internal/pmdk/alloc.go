@@ -126,6 +126,8 @@ func (p *Pool) reserveExtent(clk *sim.Clock, want int64, exact bool) (start, lim
 	if err := p.StoreBytesAt(clk, PMID(p.allocOff), b[:], true, ptAllocBrk); err != nil {
 		return 0, 0, err
 	}
+	p.stats.extents.Add(1)
+	p.stats.extentBytes.Add(ext)
 	return brk, brk + ext, nil
 }
 
@@ -300,6 +302,7 @@ func (p *Pool) Free(tx *Tx, id PMID) error {
 	}
 	a.freeHint.Add(1)
 	p.stats.frees.Add(1)
+	p.stats.freeBytes.Add(size)
 	return nil
 }
 
@@ -331,6 +334,7 @@ func (p *Pool) reuseIn(tx *Tx, a *arena, n int64) (PMID, bool, error) {
 			if err != nil {
 				return Null, false, err
 			}
+			p.stats.allocBytes.Add(blockSizeOf(c))
 			return id, true, nil
 		}
 		// Class list empty: fall through to the huge list and split a
@@ -447,6 +451,11 @@ func (p *Pool) takeHuge(tx *Tx, a *arena, prev, id PMID, size, want int64) (PMID
 		return Null, err
 	}
 	p.stats.allocs.Add(1)
+	if remainder >= minBlock {
+		p.stats.allocBytes.Add(want)
+	} else {
+		p.stats.allocBytes.Add(size)
+	}
 	return id, nil
 }
 
@@ -475,6 +484,7 @@ func (p *Pool) carve(tx *Tx, a *arena, blockSize int64) (PMID, error) {
 			return Null, err
 		}
 		p.stats.allocs.Add(1)
+		p.stats.allocBytes.Add(blockSize)
 		return PMID(start + blockHeaderSize), nil
 	}
 	bumpRaw, err := p.ReadU64(clk, a.bumpOff())
@@ -516,6 +526,7 @@ func (p *Pool) carve(tx *Tx, a *arena, blockSize int64) (PMID, error) {
 		return Null, err
 	}
 	p.stats.allocs.Add(1)
+	p.stats.allocBytes.Add(blockSize)
 	return PMID(bump + blockHeaderSize), nil
 }
 

@@ -161,6 +161,10 @@ type Stats struct {
 	Aborts       int64
 	Recovered    int64 // transactions rolled back during Open
 	ArenaSteals  int64 // allocations that fell back to a non-home arena
+	Extents      int64 // extents reserved off the shared brk
+	ExtentBytes  int64 // total bytes reserved off the brk
+	AllocBytes   int64 // total block bytes handed out (headers included)
+	FreeBytes    int64 // total block bytes returned via Free
 }
 
 // statsCounters are the live atomics behind Stats; they are DRAM-only and
@@ -173,6 +177,10 @@ type statsCounters struct {
 	aborts       atomic.Int64
 	recovered    atomic.Int64
 	arenaSteals  atomic.Int64
+	extents      atomic.Int64
+	extentBytes  atomic.Int64
+	allocBytes   atomic.Int64
+	freeBytes    atomic.Int64
 }
 
 func headerChecksum(h []byte) uint64 {
@@ -364,6 +372,10 @@ func (p *Pool) Stats() Stats {
 		Aborts:       p.stats.aborts.Load(),
 		Recovered:    p.stats.recovered.Load(),
 		ArenaSteals:  p.stats.arenaSteals.Load(),
+		Extents:      p.stats.extents.Load(),
+		ExtentBytes:  p.stats.extentBytes.Load(),
+		AllocBytes:   p.stats.allocBytes.Load(),
+		FreeBytes:    p.stats.freeBytes.Load(),
 	}
 }
 

@@ -54,6 +54,62 @@ type Device struct {
 	persistBudget atomic.Int64 // noFailInjection = disabled
 
 	inj injector
+
+	ctr  counters
+	sink atomic.Pointer[sinkHolder]
+}
+
+// Counters is a snapshot of the device's always-on operation counters. They
+// are plain atomics updated on every charge/persist/fence, so reading them
+// never perturbs virtual time and keeping them costs one uncontended atomic
+// add per operation whether or not observability is enabled.
+type Counters struct {
+	Persists       int64 // successful Persist calls
+	Fences         int64 // Fence calls
+	PersistedBytes int64 // bytes covered by successful persists
+	ReadBytes      int64 // bytes charged through ChargeRead (DAX + kernel path)
+	WrittenBytes   int64 // bytes charged through ChargeWrite (DAX + kernel path)
+}
+
+type counters struct {
+	persists       atomic.Int64
+	fences         atomic.Int64
+	persistedBytes atomic.Int64
+	readBytes      atomic.Int64
+	writtenBytes   atomic.Int64
+}
+
+// Counters returns the current device counter values.
+func (d *Device) Counters() Counters {
+	return Counters{
+		Persists:       d.ctr.persists.Load(),
+		Fences:         d.ctr.fences.Load(),
+		PersistedBytes: d.ctr.persistedBytes.Load(),
+		ReadBytes:      d.ctr.readBytes.Load(),
+		WrittenBytes:   d.ctr.writtenBytes.Load(),
+	}
+}
+
+// EventSink receives every successful persist and fence the device executes,
+// tagged with the virtual clock it was charged to. The obs tracer implements
+// it to attribute persist points to the API op active on that clock. Sink
+// methods run on the caller's goroutine with no device locks held; they must
+// not call back into the device and must not advance clk.
+type EventSink interface {
+	DeviceEvent(clk *sim.Clock, ev TraceEvent)
+}
+
+// sinkHolder wraps the sink interface so it can sit behind one atomic pointer
+// (the disabled fast path is a single pointer load).
+type sinkHolder struct{ s EventSink }
+
+// SetEventSink installs (or, with nil, removes) the device's event sink.
+func (d *Device) SetEventSink(s EventSink) {
+	if s == nil {
+		d.sink.Store(nil)
+		return
+	}
+	d.sink.Store(&sinkHolder{s: s})
 }
 
 const noFailInjection = int64(-1)
@@ -191,6 +247,7 @@ func (d *Device) ChargeRead(clk *sim.Clock, n int64, mapSync bool) {
 	if n <= 0 {
 		return
 	}
+	d.ctr.readBytes.Add(n)
 	cfg := d.machine.Config()
 	clk.Advance(cfg.PMEMReadLatency)
 	clk.Advance(d.machine.PMEMRead.Cost(n))
@@ -207,6 +264,7 @@ func (d *Device) ChargeWrite(clk *sim.Clock, n int64, mapSync bool) {
 	if n <= 0 {
 		return
 	}
+	d.ctr.writtenBytes.Add(n)
 	cfg := d.machine.Config()
 	clk.Advance(cfg.PMEMWriteLatency)
 	clk.Advance(d.machine.PMEMWrite.Cost(n))
@@ -268,6 +326,11 @@ func (d *Device) Persist(clk *sim.Clock, off, n int64, pt PointID) error {
 	}
 	cfg := d.machine.Config()
 	clk.Advance(cfg.PMEMWriteLatency)
+	d.ctr.persists.Add(1)
+	d.ctr.persistedBytes.Add(n)
+	if h := d.sink.Load(); h != nil {
+		h.s.DeviceEvent(clk, TraceEvent{Kind: EventPersist, Point: pt, Op: -1, Off: off, Bytes: n})
+	}
 	if !d.tracking || n == 0 {
 		return nil
 	}
@@ -293,6 +356,10 @@ func (d *Device) Fence(clk *sim.Clock, pt PointID) {
 		in.mu.Unlock()
 	}
 	clk.Advance(d.machine.Config().PMEMWriteLatency)
+	d.ctr.fences.Add(1)
+	if h := d.sink.Load(); h != nil {
+		h.s.DeviceEvent(clk, TraceEvent{Kind: EventFence, Point: pt, Op: -1})
+	}
 }
 
 // DirtyLines returns the number of cachelines with unpersisted writes. It is

@@ -7,7 +7,7 @@
 //
 //	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 1<<30)
 //	pmemcpy.Run(n, nprocs, func(c *pmemcpy.Comm) error {
-//		pm, _ := pmemcpy.Mmap(c, n, "/data.pool", nil)
+//		pm, _ := pmemcpy.Mmap(c, n, "/data.pool")
 //		count := []uint64{100}
 //		off := []uint64{100 * uint64(c.Rank())}
 //		pmemcpy.Alloc[float64](pm, "A", 100*uint64(c.Size()))
@@ -42,6 +42,7 @@ import (
 	"pmemcpy/internal/core"
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
+	"pmemcpy/internal/obs"
 	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/serial"
 	"pmemcpy/internal/sim"
@@ -116,7 +117,10 @@ func Run(n *Node, ranks int, fn func(*Comm) error) ([]time.Duration, error) {
 type PMEM = core.PMEM
 
 // Options configures Mmap; the zero value gives the paper's evaluated
-// configuration: BP4 serialization, hashtable layout, MAP_SYNC off.
+// configuration: BP4 serialization, hashtable layout, MAP_SYNC off. It is
+// the v1 carrier struct kept for compatibility — new code should pass the
+// functional options (WithCodec, WithParallelism, WithMetrics, ...) to Mmap
+// instead.
 type Options = core.Options
 
 // Layout selects the data layout.
@@ -143,11 +147,15 @@ var (
 	// ErrNotFound reports that an id (or its stored blocks) does not exist.
 	ErrNotFound = core.ErrNotFound
 	// ErrTypeMismatch reports that an id holds a different kind or element
-	// type of value than the call requested.
+	// type of value than the call requested, or that a redeclaration
+	// (Alloc) conflicts with the id's existing dims.
 	ErrTypeMismatch = core.ErrTypeMismatch
 	// ErrOutOfBounds reports a block selection outside the array's declared
 	// extent (or a rank mismatch against it).
 	ErrOutOfBounds = core.ErrOutOfBounds
+	// ErrMedia reports an uncorrectable (injected) media error that outlasted
+	// the device's retry/backoff budget.
+	ErrMedia = core.ErrMedia
 )
 
 // MmapOption configures Mmap. A *Options struct is itself an MmapOption (the
@@ -174,7 +182,29 @@ var (
 	// WithReadParallelism sets the gather engine's worker count independently
 	// of the write engine's (0 follows WithParallelism, 1 forces serial).
 	WithReadParallelism = core.WithReadParallelism
+	// WithMetrics enables latency/shape histograms on the handle (operation,
+	// device, allocator and cache counters are always on; see PMEM.Metrics).
+	WithMetrics = core.WithMetrics
+	// WithMetricsSampling records every k-th histogram observation (<=1: all),
+	// bounding WithMetrics' per-op cost on hot paths.
+	WithMetricsSampling = core.WithMetricsSampling
+	// WithTracing enables span-style operation tracing: persist/fence trace
+	// points nest under the API call that triggered them (see PMEM.TraceSpans).
+	WithTracing = core.WithTracing
 )
+
+// MetricsSnapshot is a point-in-time view of a handle's observability
+// metrics, returned by PMEM.Metrics. Snapshots render as Prometheus-style
+// exposition text (WriteProm/PromString) or are walked directly.
+type MetricsSnapshot = obs.Snapshot
+
+// Metric is one instrument's value within a MetricsSnapshot.
+type Metric = obs.MetricValue
+
+// Span is one traced operation: its id, rank, virtual start/end times, the
+// device persist/fence points it hit, and nested child operations. Returned
+// by PMEM.TraceSpans on handles opened with WithTracing.
+type Span = obs.Span
 
 // Mmap opens (creating if necessary) the pMEMCPY store at path. Collective:
 // every rank calls it with the same arguments. Configuration is optional —
@@ -254,7 +284,7 @@ func Load[T Scalar](p *PMEM, id string) (T, error) {
 	}
 	vals := bytesview.OfCopy[T](d.Payload)
 	if len(vals) == 0 {
-		return zero, fmt.Errorf("pmemcpy: id %q holds no elements", id)
+		return zero, fmt.Errorf("pmemcpy: id %q holds no elements: %w", id, ErrNotFound)
 	}
 	return vals[0], nil
 }

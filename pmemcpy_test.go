@@ -170,7 +170,7 @@ func TestFigure3Example(t *testing.T) {
 func TestHierarchyThroughPublicAPI(t *testing.T) {
 	n := newNode()
 	_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, n, "/tree", &pmemcpy.Options{Layout: pmemcpy.LayoutHierarchy})
+		p, err := pmemcpy.Mmap(c, n, "/tree", pmemcpy.WithLayout(pmemcpy.LayoutHierarchy))
 		if err != nil {
 			return err
 		}
