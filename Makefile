@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race faults obs obsdeps fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity bench-check fuzz bench clean
 
 all: tier1
 
@@ -20,8 +20,23 @@ vet:
 tier1: build vet test
 
 # verify is the pre-merge checklist: the tier-1 gate, the race detector, the
-# fault-injection suite, and the observability gates.
-verify: tier1 race faults obs obsdeps
+# fault-injection suite, the observability gates, and the integrity battery.
+verify: tier1 race faults obs obsdeps integrity
+
+# Integrity battery: checksum algebra, verified reads and quarantine, the
+# scrubber, the corruption differential (flavor C: ErrCorrupt or model bytes,
+# never wrong values), the pmemfsck -deep golden/exit-code tests, and the
+# Compact-vs-gather race gate — the concurrency-sensitive ones under -race.
+integrity:
+	$(GO) test ./internal/checksum/
+	$(GO) test -run 'TestDeep' ./cmd/pmemfsck/
+	$(GO) test -race -timeout 20m -run 'TestVerify|TestScrub|TestQuarantine|TestParallelStoreCRC|TestDifferentialCorruption|TestConcurrentCompactVsParallelGather' ./internal/core/
+
+# bench-check runs the E15 verified-read overhead experiment and fails when
+# the full-verify wall overhead exceeds its budget or any verify mode shifts
+# virtual time — the perf gate for integrity-layer changes.
+bench-check:
+	$(GO) run ./cmd/pmembench -ablation integrity -procs 4,8 -size 1e9 -phys 64e6
 
 # Fault-injection suite: the crash-point explorer smoke workloads (every
 # reached persist point crash-tested, clean and torn) plus the differential

@@ -111,3 +111,11 @@ func (a Array[T]) All() ([]T, []uint64, error) {
 func (a Array[T]) Compact() (int, error) {
 	return a.p.Compact(a.id)
 }
+
+// Verify checks every stored block of this array against its recorded
+// checksum, regardless of the handle's verification mode. It returns a
+// wrapped ErrCorrupt identifying the first bad block, or nil if the array
+// is clean.
+func (a Array[T]) Verify() error {
+	return a.p.VerifyVar(a.id)
+}

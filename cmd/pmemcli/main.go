@@ -12,6 +12,8 @@
 //	pmemcli -codec raw           # store with serialization disabled
 //	pmemcli stats                # observability metrics as Prometheus text
 //	pmemcli stats -trace t.json  # additionally dump the operation trace
+//	pmemcli scrub                # checksum-scrub every stored block
+//	pmemcli scrub -corrupt       # ...after silently damaging one block
 package main
 
 import (
@@ -30,6 +32,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		runStats(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scrub" {
+		runScrub(os.Args[2:])
 		return
 	}
 	var (

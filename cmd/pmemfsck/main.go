@@ -12,6 +12,15 @@
 // (nonzero exit) if the pool is corrupt. -corrupt deliberately tears a
 // metadata record first, to demonstrate — and regression-test — detection.
 //
+// With -deep it runs the content-level companion of the structural check: it
+// builds a full pMEMCPY store and recomputes every published block's CRC32C
+// against the medium (core.DeepCheck). A clean store exits 0 with a stable
+// summary line; detected corruption exits 2 and lists every damaged block's
+// id, block index, pool offset, and length. -corrupt deliberately damages
+// stored bytes first (an array block and a scalar's value block) without
+// touching the recorded checksums — silent media corruption — to demonstrate
+// and regression-test detection.
+//
 // Examples:
 //
 //	pmemfsck                 # sweep all crash points, all adversary modes
@@ -19,6 +28,8 @@
 //	pmemfsck -v              # report every crash point's outcome
 //	pmemfsck -fsck           # structural check of a clean pool
 //	pmemfsck -fsck -corrupt  # ...of a pool with a torn metadata record
+//	pmemfsck -deep           # checksum every stored block of a full store
+//	pmemfsck -deep -corrupt  # ...after silently damaging stored bytes
 package main
 
 import (
@@ -47,12 +58,16 @@ func run(args []string, w io.Writer) int {
 		seed    = fs.Int64("seed", 1, "seed for the random adversary")
 		verbose = fs.Bool("v", false, "report every crash point")
 		check   = fs.Bool("fsck", false, "structural check mode: build a pool and verify its invariants")
-		corrupt = fs.Bool("corrupt", false, "with -fsck: tear a metadata record before checking")
+		deep    = fs.Bool("deep", false, "content check mode: build a store and verify every block checksum")
+		corrupt = fs.Bool("corrupt", false, "with -fsck/-deep: damage the pool before checking")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *deep {
+		return runDeep(w, *corrupt)
+	}
 	if *check {
 		return runFsck(w, *corrupt)
 	}

@@ -1,0 +1,104 @@
+package checksum
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// Sum dispatches to the stdlib (and so possibly to hardware CRC32
+// instructions); the portable slice-by-8 walk is the host-independent
+// reference. All three — Sum, the stdlib table path, and sumGeneric — must
+// agree bit for bit on every input.
+var ref = crc32.MakeTable(crc32.Castagnoli)
+
+func TestSumMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 4096, 1<<16 + 3} {
+		p := make([]byte, n)
+		rng.Read(p)
+		want := crc32.Checksum(p, ref)
+		if got := Sum(p); got != want {
+			t.Fatalf("Sum(%d bytes) = %#x, reference %#x", n, got, want)
+		}
+		if got := sumGeneric(0, p); got != want {
+			t.Fatalf("sumGeneric(%d bytes) = %#x, reference %#x", n, got, want)
+		}
+	}
+}
+
+// TestGenericChains pins the portable walk's incremental form: splitting the
+// input anywhere must not change the sum.
+func TestGenericChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := make([]byte, 10000)
+	rng.Read(p)
+	whole := sumGeneric(0, p)
+	for _, cut := range []int{0, 1, 7, 8, 9, 100, 9999, 10000} {
+		if got := sumGeneric(sumGeneric(0, p[:cut]), p[cut:]); got != whole {
+			t.Fatalf("sumGeneric chain split at %d = %#x, want %#x", cut, got, whole)
+		}
+	}
+}
+
+func TestUpdateChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := make([]byte, 10000)
+	rng.Read(p)
+	whole := Sum(p)
+	for _, cut := range []int{0, 1, 7, 8, 9, 100, 9999, 10000} {
+		if got := Update(Sum(p[:cut]), p[cut:]); got != whole {
+			t.Fatalf("Update chain split at %d = %#x, want %#x", cut, got, whole)
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := make([]byte, 50000)
+	rng.Read(p)
+	whole := Sum(p)
+	for _, cut := range []int{0, 1, 63, 64, 65, 12345, 49999, 50000} {
+		a, b := p[:cut], p[cut:]
+		if got := Combine(Sum(a), Sum(b), int64(len(b))); got != whole {
+			t.Fatalf("Combine split at %d = %#x, want %#x", cut, got, whole)
+		}
+	}
+}
+
+// TestCombineMany folds a multi-shard split the way the parallel store
+// engine does: shard CRCs computed independently, folded left to right.
+func TestCombineMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := make([]byte, 1<<18)
+	rng.Read(p)
+	for _, shards := range []int{2, 3, 7, 16} {
+		chunk := len(p) / shards
+		crc := uint32(0)
+		for i := 0; i < shards; i++ {
+			lo, hi := i*chunk, (i+1)*chunk
+			if i == shards-1 {
+				hi = len(p)
+			}
+			crc = Combine(crc, Sum(p[lo:hi]), int64(hi-lo))
+		}
+		if want := Sum(p); crc != want {
+			t.Fatalf("%d-shard combine = %#x, want %#x", shards, crc, want)
+		}
+	}
+}
+
+func TestCombineZeroLength(t *testing.T) {
+	if got := Combine(0xdeadbeef, 0x1234, 0); got != 0xdeadbeef {
+		t.Fatalf("Combine with len2=0 = %#x, want crc1 unchanged", got)
+	}
+}
+
+func BenchmarkSum64K(b *testing.B) {
+	p := make([]byte, 64<<10)
+	rand.New(rand.NewSource(5)).Read(p)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		Sum(p)
+	}
+}

@@ -119,6 +119,18 @@ func (p *PMEM) invalidateCache(key string) {
 // the uncached path did (same metadata charges); a hit touches neither the
 // device nor the clock. Returns the entry and the version it was read at.
 func (p *PMEM) blockIndex(id string) (*cacheEntry, uint64, error) {
+	return p.blockIndexImpl(id, false)
+}
+
+// blockIndexLocked is blockIndex for callers that already hold id's read
+// lock (the gather path holds it across planning AND execution, see
+// loadBlock). It must not re-acquire the lock: a recursive RLock can
+// deadlock against a queued writer on the same RWMutex.
+func (p *PMEM) blockIndexLocked(id string) (*cacheEntry, uint64, error) {
+	return p.blockIndexImpl(id, true)
+}
+
+func (p *PMEM) blockIndexImpl(id string, haveIDLock bool) (*cacheEntry, uint64, error) {
 	e, ver, ok := p.st.cache.lookup(id)
 	if ok {
 		return e, ver, nil
@@ -134,10 +146,16 @@ func (p *PMEM) blockIndex(id string) (*cacheEntry, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	l := p.varLock(id)
-	l.RLock()
-	blocks, hasBlocks, err := p.loadBlockList(id)
-	l.RUnlock()
+	var blocks []blockRec
+	var hasBlocks bool
+	if haveIDLock {
+		blocks, hasBlocks, err = p.loadBlockList(id)
+	} else {
+		l := p.varLock(id)
+		l.RLock()
+		blocks, hasBlocks, err = p.loadBlockList(id)
+		l.RUnlock()
+	}
 	if err != nil {
 		return nil, 0, err
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"pmemcpy/internal/pmdk"
 )
 
 // Compact reclaims shadowed blocks of array id: StoreBlock appends, so
@@ -82,6 +84,13 @@ func (p *PMEM) compact(id string) (int, error) {
 	if err := tx.Commit(); err != nil {
 		return 0, err
 	}
+	// Freed PMIDs may be reallocated to healthy blocks; dropping them from
+	// the quarantine keeps fail-fast reads from firing on reuse.
+	victimIDs := make([]pmdk.PMID, len(victims))
+	for i, v := range victims {
+		victimIDs[i] = v.data
+	}
+	p.unquarantine(victimIDs)
 	return len(victims), nil
 }
 

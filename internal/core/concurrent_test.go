@@ -3,10 +3,12 @@ package core_test
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"pmemcpy/internal/bytesview"
 	"pmemcpy/internal/core"
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
@@ -129,6 +131,89 @@ func TestConcurrentStoreLoadDeleteModel(t *testing.T) {
 				return fmt.Errorf("stats parallelism = %d, want 4", st.Parallelism)
 			}
 			t.Logf("stats: %+v", st)
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCompactVsParallelGather is the regression gate for the
+// Compact-vs-gather race: loadBlock must hold the id's read lock across
+// planning AND execution, because Compact publishes its pruned block list
+// first and then frees the dropped blocks — a gather still copying out of a
+// planned block after releasing the lock would read storage the allocator may
+// already have handed to a concurrent store. Rank 0 alternates full-extent
+// stores (generation g writes float64(g) everywhere) with Compact, so the
+// previous generation's block is freed on every iteration; reader ranks
+// hammer parallel full-extent gathers under full verification. Every load
+// must return one uniform generation — a mixed or garbage element is a torn
+// gather. Run under -race (make integrity) this also fails at the first
+// unsynchronized touch of freed storage.
+func TestConcurrentCompactVsParallelGather(t *testing.T) {
+	const (
+		ranks = 4
+		elems = 1 << 16 // 512 KB: above the parallel gather threshold
+		gens  = 25
+		loads = 40
+	)
+	n := node.New(sim.DefaultConfig(), 512<<20)
+	n.Machine.SetConcurrency(ranks)
+	opts := &core.Options{PoolSize: 256 << 20, ReadParallelism: 4, VerifyReads: core.VerifyFull}
+
+	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
+		p, err := core.Mmap(c, n, "/race.pool", opts)
+		if err != nil {
+			return err
+		}
+		full := []uint64{0}
+		cnt := []uint64{elems}
+		if c.Rank() == 0 {
+			if err := p.Alloc("grid", serial.Float64, cnt); err != nil {
+				return err
+			}
+			if err := p.StoreBlock("grid", full, cnt, make([]byte, elems*8)); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			vals := make([]float64, elems)
+			for g := 1; g <= gens; g++ {
+				for i := range vals {
+					vals[i] = float64(g)
+				}
+				if err := p.StoreBlock("grid", full, cnt, bytesview.Bytes(vals)); err != nil {
+					return err
+				}
+				if _, err := p.Compact("grid"); err != nil {
+					return err
+				}
+			}
+		} else {
+			dst := make([]byte, elems*8)
+			for l := 0; l < loads; l++ {
+				if err := p.LoadBlock("grid", full, cnt, dst); err != nil {
+					return fmt.Errorf("rank %d load %d: %w", c.Rank(), l, err)
+				}
+				vals := bytesview.OfCopy[float64](dst)
+				g := vals[0]
+				if g != math.Trunc(g) || g < 0 || g > gens {
+					return fmt.Errorf("rank %d load %d: generation %v out of range", c.Rank(), l, g)
+				}
+				for i, v := range vals {
+					if v != g {
+						return fmt.Errorf("rank %d load %d: torn gather: elem %d = %v, elem 0 = %v",
+							c.Rank(), l, i, v, g)
+					}
+				}
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
 		}
 		return p.Munmap()
 	})

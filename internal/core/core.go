@@ -100,6 +100,15 @@ type Options struct {
 	// and the persist/fence points it triggers nest under it. Retrieve with
 	// PMEM.TraceSpans.
 	Tracing bool
+	// VerifyReads selects the read-path CRC verification mode (integrity.go):
+	// off (default), sampled, or full. Quarantine fail-fast is active in
+	// every mode. Verification never advances the virtual clock, so
+	// virtual-time results are identical across modes.
+	VerifyReads VerifyMode
+	// ScrubRate caps Scrub's throughput at this many bytes per virtual
+	// second (0 = unpaced): the pass advances the virtual clock so that its
+	// sweep never outruns the configured rate.
+	ScrubRate int64
 }
 
 // PMEM is the library handle, the analogue of pmemcpy::PMEM in Figure 2.
@@ -133,6 +142,17 @@ type shared struct {
 
 	// ins is the observability state (instrument.go), shared like the pool.
 	ins *instruments
+
+	// Integrity state (integrity.go): the read-path verify mode with its
+	// sampling counter, the scrubber's rate limit, and the DRAM mirror of
+	// the persistent quarantine list. quarLen shadows len(quar) so the
+	// nothing-quarantined fast path is a single atomic load.
+	verify    VerifyMode
+	verifyCtr atomic.Uint64
+	scrubRate int64
+	quarMu    sync.Mutex
+	quar      map[pmdk.PMID]struct{}
+	quarLen   atomic.Int64
 
 	// Copy-engine counters, surfaced through StoreStats.
 	parallelStores   atomic.Int64 // stores that took the parallel path
@@ -206,15 +226,19 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 			return nil, err
 		}
 		st := &shared{
-			layout:  LayoutHierarchy,
-			mapSync: o.MapSync,
-			par:     par,
-			rpar:    rpar,
-			hier:    &hierStore{node: n, root: path},
-			cache:   newBlockCache(),
-			ins:     newInstruments(o, n, nil),
+			layout:    LayoutHierarchy,
+			mapSync:   o.MapSync,
+			par:       par,
+			rpar:      rpar,
+			hier:      &hierStore{node: n, root: path},
+			cache:     newBlockCache(),
+			ins:       newInstruments(o, n, nil),
+			verify:    o.VerifyReads,
+			scrubRate: o.ScrubRate,
+			quar:      make(map[pmdk.PMID]struct{}),
 		}
 		st.ins.bridgeCache(st.cache)
+		st.ins.bridgeQuarantine(st)
 		installTracer(o, n, st)
 		return st, nil
 	}
@@ -299,17 +323,25 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		return nil, err
 	}
 	st := &shared{
-		layout:  LayoutHashtable,
-		mapSync: o.MapSync,
-		staged:  o.StagedSerialization,
-		par:     par,
-		rpar:    rpar,
-		pool:    pool,
-		ht:      ht,
-		cache:   newBlockCache(),
-		ins:     newInstruments(o, n, pool),
+		layout:    LayoutHashtable,
+		mapSync:   o.MapSync,
+		staged:    o.StagedSerialization,
+		par:       par,
+		rpar:      rpar,
+		pool:      pool,
+		ht:        ht,
+		cache:     newBlockCache(),
+		ins:       newInstruments(o, n, pool),
+		verify:    o.VerifyReads,
+		scrubRate: o.ScrubRate,
+	}
+	// Repopulate the quarantine fail-fast mirror from the persistent list, so
+	// a reopen after a crash keeps refusing reads of known-bad blocks.
+	if err := st.loadQuarantine(clk); err != nil {
+		return nil, err
 	}
 	st.ins.bridgeCache(st.cache)
+	st.ins.bridgeQuarantine(st)
 	installTracer(o, n, st)
 	return st, nil
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -21,19 +22,27 @@ import (
 // partial loads byte-for-byte, min/max statistics, and presence — with a
 // DRAM reference model as the oracle. Flavor A pits the hashtable layout
 // against the hierarchy (posixfs-style) layout; flavor B pits the 4-worker
-// sharded copy engines against the serial path. A failing sequence is
-// shrunk to a minimal reproducer and logged.
+// sharded copy engines against the serial path; flavor C interleaves silent
+// media corruption (single-bit, torn-line, whole-block) with the workload and
+// checks the integrity contract — under full verification every read of a
+// damaged id either surfaces ErrCorrupt or returns the model's exact bytes,
+// never a wrong value. A failing sequence is shrunk to a minimal reproducer
+// and logged.
 
 // diffOp is one generated operation. Payload values are embedded at
 // generation time so a shrunken subsequence replays the same data.
 type diffOp struct {
-	kind    string // alloc | store | datum | delete | compact
+	kind    string // alloc | store | datum | delete | compact | corrupt
 	id      string
 	dims    []uint64  // alloc
 	offs    []uint64  // store
 	counts  []uint64  // store
 	vals    []float64 // store payload
 	payload []byte    // datum payload
+	block   int       // corrupt: block-list index (reduced modulo the live count at replay)
+	shape   string    // corrupt: bit | line | block
+	coff    int64     // corrupt: byte offset aim (reduced modulo the block length)
+	mask    byte      // corrupt: XOR mask
 }
 
 func (o diffOp) String() string {
@@ -45,6 +54,9 @@ func (o diffOp) String() string {
 			o.id, o.offs, o.counts, len(o.vals), o.vals[0])
 	case "datum":
 		return fmt.Sprintf("datum %s (%d bytes)", o.id, len(o.payload))
+	case "corrupt":
+		return fmt.Sprintf("corrupt %s block~%d shape=%s off=%d mask=%#02x",
+			o.id, o.block, o.shape, o.coff, o.mask)
 	default:
 		return fmt.Sprintf("%s %s", o.kind, o.id)
 	}
@@ -81,6 +93,13 @@ type modelArr struct {
 	// shadowed blocks than the whole-block model from here on, so MinMax is
 	// no longer compared for them.
 	compacted bool
+	// dirty: silent corruption was injected into one of this id's stored
+	// blocks. Reads may legitimately surface ErrCorrupt (the damage was
+	// gathered and caught) or succeed with model-matching bytes (the damage
+	// sits in a shadowed block the plan skips) — but never a wrong value.
+	// Cleared by delete: the damaged block is freed, and any store after
+	// that rebuilds from fresh blocks with fresh CRCs.
+	dirty bool
 }
 
 type diffModel struct {
@@ -179,6 +198,9 @@ func (m *diffModel) applicable(op diffOp) bool {
 		return ok
 	case "datum":
 		return true
+	case "corrupt":
+		// valid implies at least one published block to damage.
+		return a != nil && a.valid
 	}
 	return false
 }
@@ -217,6 +239,7 @@ func (m *diffModel) apply(op diffOp) {
 			a.blocks = nil
 			a.valid = false
 			a.compacted = false
+			a.dirty = false
 		} else {
 			delete(m.datums, op.id)
 		}
@@ -248,6 +271,8 @@ func (m *diffModel) apply(op diffOp) {
 		a.compacted = true
 	case "datum":
 		m.datums[op.id] = append([]byte(nil), op.payload...)
+	case "corrupt":
+		m.arrs[op.id].dirty = true
 	}
 }
 
@@ -293,6 +318,21 @@ func applyDiffOp(p *core.PMEM, op diffOp, hier bool) error {
 		}
 		_, err := p.Compact(op.id)
 		return err
+	case "corrupt":
+		if hier {
+			return nil // injection needs the hashtable block structure
+		}
+		var n int64
+		switch op.shape {
+		case "bit":
+			n = 1
+		case "line":
+			n = 64
+		default:
+			n = 0 // whole block
+		}
+		_, _, err := p.InjectCorruption(op.id, op.block, op.coff, n, op.mask)
+		return err
 	}
 	return fmt.Errorf("unknown op kind %q", op.kind)
 }
@@ -317,6 +357,13 @@ func runDiff(ops []diffOp, backends []diffBackend, devSize int64) (string, error
 		for i, op := range ops {
 			if !m.applicable(op) {
 				continue
+			}
+			if op.kind == "corrupt" {
+				// Resolve the generated aim to a live block index. The model's
+				// block list mirrors the serial whole-block backends, so the
+				// reduced index is valid on every backend (shrinking changes
+				// the live count, so this must happen at replay time).
+				op.block %= len(m.arrs[op.id].blocks)
 			}
 			m.apply(op)
 			for bi, b := range backends {
@@ -378,15 +425,26 @@ func compareState(m *diffModel, backends []diffBackend, handles []*core.PMEM, op
 			for _, r := range regions {
 				want := bytesview.Bytes(a.region(r[0], r[1]))
 				dst := make([]byte, len(want))
-				if err := p.LoadBlock(id, r[0], r[1], dst); err != nil {
+				err := p.LoadBlock(id, r[0], r[1], dst)
+				if a.dirty && errors.Is(err, core.ErrCorrupt) {
+					continue // contained: the read surfaced the damage
+				}
+				if err != nil {
 					return fmt.Sprintf("%s: load %s offs=%v counts=%v: %v", b.name, id, r[0], r[1], err), nil
 				}
 				if !bytes.Equal(dst, want) {
+					if a.dirty {
+						return fmt.Sprintf("%s: load %s offs=%v counts=%v returned WRONG VALUES for a corrupted id (want ErrCorrupt or model bytes)",
+							b.name, id, r[0], r[1]), nil
+					}
 					return fmt.Sprintf("%s: load %s offs=%v counts=%v differs from model", b.name, id, r[0], r[1]), nil
 				}
 			}
 			if !b.hier && !(b.par && a.compacted) {
 				mn, mx, err := p.MinMax(id)
+				if a.dirty && errors.Is(err, core.ErrCorrupt) {
+					continue // statistics are verified too: damage caught
+				}
 				if err != nil {
 					return fmt.Sprintf("%s: minmax of %s: %v", b.name, id, err), nil
 				}
@@ -421,8 +479,9 @@ func compareState(m *diffModel, backends []diffBackend, handles []*core.PMEM, op
 // --- generator ---
 
 // genDiffOps generates n ops that are applicable in generation order, with
-// payload values baked in.
-func genDiffOps(rng *rand.Rand, n int, shapes map[string][]uint64, datumIDs []string, datumMax int) []diffOp {
+// payload values baked in. With corrupt set, silent-corruption ops are mixed
+// into the stream (flavor C).
+func genDiffOps(rng *rand.Rand, n int, shapes map[string][]uint64, datumIDs []string, datumMax int, corrupt bool) []diffOp {
 	m := newDiffModel()
 	arrIDs := make([]string, 0, len(shapes))
 	for id := range shapes {
@@ -456,6 +515,9 @@ func genDiffOps(rng *rand.Rand, n int, shapes map[string][]uint64, datumIDs []st
 			if a.valid {
 				cs = append(cs, cand{"store", id, false}, cand{"store", id, false},
 					cand{"compact", id, false}, cand{"delete", id, false})
+				if corrupt {
+					cs = append(cs, cand{"corrupt", id, false}, cand{"corrupt", id, false})
+				}
 			}
 		}
 		for _, id := range datumIDs {
@@ -484,6 +546,19 @@ func genDiffOps(rng *rand.Rand, n int, shapes map[string][]uint64, datumIDs []st
 			op.vals = randVals(dimsSize(op.counts))
 		case "datum":
 			op.payload = []byte(fmt.Sprintf("%s-%x", c.id, rng.Int63n(int64(datumMax))))
+		case "corrupt":
+			op.shape = []string{"bit", "line", "block"}[rng.Intn(3)]
+			op.block = rng.Intn(1 << 16) // reduced modulo the live block count at replay
+			switch op.shape {
+			case "bit":
+				op.coff = int64(rng.Intn(1 << 12))
+				op.mask = 1 << uint(rng.Intn(8))
+			case "line":
+				op.coff = 64 * int64(rng.Intn(64)) // a torn 64-byte cache line
+				op.mask = 0xff
+			case "block":
+				op.mask = 0xa5
+			}
 		}
 		if !m.applicable(op) {
 			continue
@@ -534,10 +609,10 @@ func shrinkOps(ops []diffOp, failing func([]diffOp) bool) []diffOp {
 // runDifferential generates, replays, and — on divergence — shrinks and
 // reports the minimal failing sequence.
 func runDifferential(t *testing.T, seed int64, nOps int, shapes map[string][]uint64,
-	datumIDs []string, backends []diffBackend, devSize int64) {
+	datumIDs []string, backends []diffBackend, devSize int64, corrupt bool) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	ops := genDiffOps(rng, nOps, shapes, datumIDs, 1<<16)
+	ops := genDiffOps(rng, nOps, shapes, datumIDs, 1<<16, corrupt)
 	msg, err := runDiff(ops, backends, devSize)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
@@ -569,7 +644,7 @@ func TestDifferentialHashtableVsHierarchy(t *testing.T) {
 	}
 	for _, seed := range []int64{1, 7, 42, 99, 2026} {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runDifferential(t, seed, 80, shapes, []string{"s1", "s2"}, backends, 32<<20)
+			runDifferential(t, seed, 80, shapes, []string{"s1", "s2"}, backends, 32<<20, false)
 		})
 	}
 }
@@ -593,7 +668,34 @@ func TestDifferentialParallelVsSerial(t *testing.T) {
 	}
 	for _, seed := range []int64{3, 11, 27} {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runDifferential(t, seed, 18, shapes, []string{"s1"}, backends, 64<<20)
+			runDifferential(t, seed, 18, shapes, []string{"s1"}, backends, 64<<20, false)
+		})
+	}
+}
+
+// TestDifferentialCorruption (flavor C): random workloads interleaved with
+// silent media corruption — single-bit flips, torn 64-byte lines, and
+// whole-block garbage, injected without touching the recorded CRCs — replayed
+// against fully-verified hashtable backends (serial and parallel-gather).
+// The contract under VerifyFull: every read or statistics query of a damaged
+// id either surfaces ErrCorrupt or returns exactly the model's bytes (the
+// damage sat in a shadowed block the gather plan skips); a wrong value is a
+// divergence, and the failing sequence ddmin-shrinks like any other flavor.
+func TestDifferentialCorruption(t *testing.T) {
+	shapes := map[string][]uint64{
+		"u": {48},
+		"v": {6, 9},
+		"w": {512},
+	}
+	backends := []diffBackend{
+		{name: "verify-serial", path: "/vs.pool",
+			opts: &core.Options{PoolSize: 16 << 20, VerifyReads: core.VerifyFull}},
+		{name: "verify-pargather", path: "/vp.pool",
+			opts: &core.Options{PoolSize: 16 << 20, ReadParallelism: 4, VerifyReads: core.VerifyFull}},
+	}
+	for _, seed := range []int64{2, 9, 55, 404, 2027} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferential(t, seed, 60, shapes, []string{"s1"}, backends, 32<<20, true)
 		})
 	}
 }
@@ -606,7 +708,7 @@ func TestShrinkOps(t *testing.T) {
 	shapes := map[string][]uint64{"u": {16}, "v": {4, 4}}
 	var ops []diffOp
 	for {
-		ops = genDiffOps(rng, 40, shapes, []string{"s1"}, 1<<10)
+		ops = genDiffOps(rng, 40, shapes, []string{"s1"}, 1<<10, false)
 		hasDel, hasCmp := false, false
 		for _, o := range ops {
 			hasDel = hasDel || (o.kind == "delete" && o.id == "u")

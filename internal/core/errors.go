@@ -27,4 +27,10 @@ var (
 	// the device's retry/backoff budget. It is pmem.ErrMedia, so callers can
 	// branch on the failure class without importing the device package.
 	ErrMedia = pmem.ErrMedia
+	// ErrCorrupt reports that stored bytes failed their CRC32C check — a
+	// verified read, the scrubber, or a deep check found the medium returned
+	// different bytes than were published — or that the block being read was
+	// previously quarantined by the scrubber. The wrapping error identifies
+	// the id, block, and pool offset.
+	ErrCorrupt = errors.New("data corruption detected")
 )

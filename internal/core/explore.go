@@ -94,6 +94,17 @@ type ExploreReport struct {
 	Points []PointCoverage
 	// Failures lists every simulation whose recovery verification failed.
 	Failures []string
+	// Detected counts simulations where the integrity layer surfaced
+	// corruption in the recovered state — ErrCorrupt from the script's
+	// verification (run under VerifyFull) or a dirty deep check — i.e.
+	// corruption that was caught and contained rather than silently
+	// returned. Detected simulations are not Failures.
+	Detected int64
+	// Escapes lists simulations where the recovered data failed the
+	// script's verification with plain wrong values while every published
+	// CRC checked out: silent-corruption escapes, the exact failure mode
+	// the integrity layer exists to eliminate. Always a subset of Failures.
+	Escapes []string
 }
 
 // Unexplored returns the names of persist points that were reached by the
@@ -124,8 +135,8 @@ func (r *ExploreReport) PersistPointNames() []string {
 // Format renders the coverage map.
 func (r *ExploreReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "crash-point coverage for %q: %d persist ops, %d crash sims, %d failures\n",
-		r.Script, r.Ops, r.CrashSims, len(r.Failures))
+	fmt.Fprintf(&b, "crash-point coverage for %q: %d persist ops, %d crash sims, %d failures, %d detected, %d silent escapes\n",
+		r.Script, r.Ops, r.CrashSims, len(r.Failures), r.Detected, len(r.Escapes))
 	w := 0
 	for _, pc := range r.Points {
 		if len(pc.Name) > w {
@@ -196,6 +207,11 @@ func TraceScript(s Script) ([]pmem.TraceEvent, error) {
 		if vs := p.VerifyStore(); len(vs) > 0 {
 			return fmt.Errorf("uninjected run leaves violations: %s", strings.Join(vs, "; "))
 		}
+		if deep, err := p.DeepCheck(); err != nil {
+			return fmt.Errorf("uninjected deep check: %w", err)
+		} else if !deep.OK() {
+			return fmt.Errorf("uninjected run leaves corrupt blocks: %s", deep.Summary())
+		}
 		if s.Verify != nil {
 			if err := s.Verify(p); err != nil {
 				return fmt.Errorf("verify after complete run: %w", err)
@@ -211,11 +227,23 @@ func TraceScript(s Script) ([]pmem.TraceEvent, error) {
 	return events, err
 }
 
+// simOutcome classifies one crash simulation's integrity result.
+type simOutcome struct {
+	// detected: corruption was present in the recovered state and the
+	// integrity layer caught it (ErrCorrupt or a dirty deep check).
+	detected bool
+	// escape: the script's verification saw wrong values while every
+	// published CRC checked out — a silent-corruption escape.
+	escape bool
+}
+
 // crashSim runs one simulation: replay the script, kill the device at persist
 // ordinal op (tearing the in-flight store when tearSeed != 0), crash with the
-// given adversary, then check the reopened pool: fsck invariants, core
-// metadata invariants, and the script's Verify.
-func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *rand.Rand) error {
+// given adversary, then check the reopened pool: fsck invariants, a CRC deep
+// check over every published block, core metadata invariants, and the
+// script's Verify under full read verification.
+func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *rand.Rand) (simOutcome, error) {
+	var out simOutcome
 	n := s.newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
 		p, err := Mmap(c, n, s.Path, s.Options)
@@ -238,7 +266,7 @@ func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *r
 		return nil
 	})
 	if err != nil {
-		return err
+		return out, err
 	}
 	n.Device.Crash(mode, rng)
 
@@ -247,38 +275,59 @@ func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *r
 	clk := new(sim.Clock)
 	f, err := n.FS.Open(clk, s.Path)
 	if err != nil {
-		return fmt.Errorf("reopening pool file: %w", err)
+		return out, fmt.Errorf("reopening pool file: %w", err)
 	}
 	m, err := f.Mmap(clk, false)
 	if err != nil {
-		return err
+		return out, err
 	}
 	rep, err := fsck.Check(clk, m)
 	if err != nil {
-		return fmt.Errorf("fsck: %w", err)
+		return out, fmt.Errorf("fsck: %w", err)
 	}
 	if !rep.OK() {
-		return fmt.Errorf("fsck: %s", rep.Summary())
+		return out, fmt.Errorf("fsck: %s", rep.Summary())
 	}
 
-	// Then the full store on a fresh handle group (empty DRAM cache), with
-	// the core-level invariants and the script's own data verification.
+	// Then the full store on a fresh handle group (empty DRAM cache), with a
+	// CRC deep check over every published block, the core-level invariants,
+	// and the script's own data verification run under full read
+	// verification — so a torn block that made it into published state is
+	// DETECTED (ErrCorrupt) rather than decoded into silently wrong values.
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := Mmap(c, n, s.Path, s.Options)
+		p, err := Mmap(c, n, s.Path, s.Options, WithVerifyReads(VerifyFull))
 		if err != nil {
 			return fmt.Errorf("reopening store: %w", err)
+		}
+		deep, err := p.DeepCheck()
+		if err != nil {
+			return fmt.Errorf("deep check: %w", err)
+		}
+		if !deep.OK() {
+			// Corruption in published state, caught by CRC: contained. It is
+			// still a crash-atomicity violation (publish must follow the data
+			// persist), so it fails the sim — but loudly, never silently.
+			out.detected = true
+			return fmt.Errorf("deep check: %s", deep.Summary())
 		}
 		if vs := p.VerifyStore(); len(vs) > 0 {
 			return fmt.Errorf("store invariants: %s", strings.Join(vs, "; "))
 		}
 		if s.Verify != nil {
 			if err := s.Verify(p); err != nil {
+				if errors.Is(err, ErrCorrupt) {
+					out.detected = true
+				} else {
+					// Wrong values with every CRC clean: the silent escape the
+					// integrity layer exists to eliminate.
+					out.escape = true
+				}
 				return fmt.Errorf("data verification: %w", err)
 			}
 		}
 		return nil
 	})
-	return err
+	return out, err
 }
 
 // Explore enumerates every persist point the script's Run phase reaches and
@@ -348,9 +397,16 @@ func Explore(s Script, o ExploreOptions) (*ExploreReport, error) {
 				// each reproduces; never 0 (0 disables tearing).
 				tearSeed = uint64(seed)<<32 | uint64(ev.Op)<<1 | 1
 			}
-			if err := s.crashSim(ev.Op, v.mode, tearSeed, rng); err != nil {
-				rep.Failures = append(rep.Failures,
-					fmt.Sprintf("persist %d (%s) under %s: %v", ev.Op, pmem.PointName(ev.Point), v.name, err))
+			out, err := s.crashSim(ev.Op, v.mode, tearSeed, rng)
+			if out.detected {
+				rep.Detected++
+			}
+			if err != nil {
+				desc := fmt.Sprintf("persist %d (%s) under %s: %v", ev.Op, pmem.PointName(ev.Point), v.name, err)
+				rep.Failures = append(rep.Failures, desc)
+				if out.escape {
+					rep.Escapes = append(rep.Escapes, desc)
+				}
 			}
 			rep.CrashSims++
 		}

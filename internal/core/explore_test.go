@@ -290,9 +290,13 @@ func exploreParallelScript() core.Script {
 	}
 }
 
-// runExplore runs a full exploration and enforces the acceptance criterion:
-// every persist point the workload reached was crash-tested, and recovery
-// verification passed at every one of them.
+// runExplore runs a full exploration and enforces the acceptance criteria:
+// every persist point the workload reached was crash-tested, recovery
+// verification passed at every one of them, and — the integrity layer's
+// reason to exist — not a single simulation produced wrong values while
+// every published CRC checked out. Escapes are asserted separately from
+// Failures so a silent-corruption regression is named as such, not buried
+// in a generic verification failure.
 func runExplore(t *testing.T, s core.Script, o core.ExploreOptions) *core.ExploreReport {
 	t.Helper()
 	o.Logf = t.Logf
@@ -306,6 +310,9 @@ func runExplore(t *testing.T, s core.Script, o core.ExploreOptions) *core.Explor
 	}
 	if un := rep.Unexplored(); len(un) > 0 {
 		t.Errorf("unexplored persist points: %v", un)
+	}
+	for _, e := range rep.Escapes {
+		t.Errorf("SILENT ESCAPE (wrong values, clean CRCs): %s", e)
 	}
 	for _, f := range rep.Failures {
 		t.Errorf("FAIL: %s", f)

@@ -68,16 +68,16 @@ func normalizeRecs(recs []blockRec) []blockRec {
 }
 
 func FuzzDecodeValueRef(f *testing.F) {
-	f.Add(encodeValueRef(4096, 77))
-	f.Add(encodeValueRef(0, 0))
+	f.Add(encodeValueRef(4096, 77, 0xdeadbeef))
+	f.Add(encodeValueRef(0, 0, 0))
 	f.Add([]byte{valueRefTag, 1, 2})
 	f.Add([]byte{blockListTag})
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		blk, n, err := decodeValueRef(raw)
+		blk, n, crc, err := decodeValueRef(raw)
 		if err != nil {
 			return
 		}
-		if !bytes.Equal(encodeValueRef(blk, n), raw) {
+		if !bytes.Equal(encodeValueRef(blk, n, crc), raw) {
 			t.Fatalf("value ref round trip mismatch for %x", raw)
 		}
 	})

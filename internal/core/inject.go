@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"pmemcpy/internal/pmdk"
+)
+
+// InjectCorruption simulates silent media corruption: it XORs mask into n
+// consecutive stored bytes of one published block of id, without touching the
+// block's recorded CRC, virtual clock, or persist tracking — exactly what a
+// failing cell or a misdirected write looks like to software. block selects
+// which block of an array's block list to damage; block < 0 targets a whole
+// value's single block (scalars, strings, whole-slice stores). off is reduced
+// modulo the block's encoded length, so generators can aim anywhere without
+// knowing block sizes; n <= 0 damages from off to the end of the block. It
+// returns the pool offset of the first damaged byte and how many bytes were
+// damaged.
+//
+// This is the injection point behind pmemfsck -deep -corrupt and the
+// corruption test battery. It is deliberately not reachable from the pio
+// surface.
+func (p *PMEM) InjectCorruption(id string, block int, off, n int64, mask byte) (int64, int64, error) {
+	if p.st.layout != LayoutHashtable {
+		return 0, 0, fmt.Errorf("core: InjectCorruption requires the hashtable layout")
+	}
+	if mask == 0 {
+		return 0, 0, fmt.Errorf("core: InjectCorruption with mask 0 is a no-op")
+	}
+	lock := p.varLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	raw, ok, err := p.getValue(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("core: id %q: %w", id, ErrNotFound)
+	}
+	var blk pmdk.PMID
+	var encLen int64
+	switch {
+	case len(raw) > 0 && raw[0] == blockListTag:
+		blocks, err := decodeBlockList(raw)
+		if err != nil {
+			return 0, 0, err
+		}
+		if block < 0 || block >= len(blocks) {
+			return 0, 0, fmt.Errorf("core: id %q has %d blocks, asked to corrupt %d", id, len(blocks), block)
+		}
+		blk, encLen = blocks[block].data, blocks[block].encLen
+	case len(raw) == valueRefLen && raw[0] == valueRefTag:
+		if block >= 0 {
+			return 0, 0, fmt.Errorf("core: id %q is a whole value; use block -1", id)
+		}
+		blk, encLen, _, err = decodeValueRef(raw)
+		if err != nil {
+			return 0, 0, err
+		}
+	default:
+		return 0, 0, fmt.Errorf("core: id %q holds no corruptible block reference", id)
+	}
+	if off < 0 {
+		return 0, 0, fmt.Errorf("core: negative offset %d", off)
+	}
+	off %= encLen
+	if n <= 0 || off+n > encLen {
+		n = encLen - off
+	}
+	src, err := p.st.pool.Slice(blk, encLen)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		src[off+i] ^= mask
+	}
+	// The block index caches decoded characteristics, not payload bytes, so
+	// no invalidation is needed: readers will stream the damaged bytes.
+	return int64(blk) + off, n, nil
+}

@@ -84,6 +84,17 @@ type instruments struct {
 	shardBytes     *obs.Histogram
 	gatherJobBytes *obs.Histogram
 	gatherDepth    *obs.Histogram
+
+	// Integrity series (integrity.go). Counters are always on like the op
+	// counters; the scrub latency histogram fills on every pass — Scrub is an
+	// explicit maintenance op with clock access already, so it is not gated
+	// behind Options.Metrics the way hot-path op latencies are.
+	verifyBlocks *obs.Counter
+	verifyFails  *obs.Counter
+	scrubBlocks  *obs.Counter
+	scrubCorrupt *obs.Counter
+	scrubPasses  *obs.Counter
+	scrubLat     *obs.Histogram
 }
 
 // newInstruments builds the registry for one handle group. pool is nil for
@@ -123,6 +134,19 @@ func newInstruments(o *Options, n *node.Node, pool *pmdk.Pool) *instruments {
 		"bytes per copy job executed by the parallel gather engine")
 	in.gatherDepth = reg.Histogram("pmemcpy_gather_queue_depth",
 		"jobs queued per parallel gather (worker-pool depth)")
+
+	in.verifyBlocks = reg.Counter("pmemcpy_verified_blocks_total",
+		"blocks whose CRC32C was recomputed by a verified read")
+	in.verifyFails = reg.Counter("pmemcpy_verify_failures_total",
+		"verified reads that surfaced ErrCorrupt on a CRC mismatch")
+	in.scrubBlocks = reg.Counter("pmemcpy_scrub_blocks_total",
+		"blocks verified by the scrubber")
+	in.scrubCorrupt = reg.Counter("pmemcpy_scrub_corruptions_total",
+		"corrupt blocks found (and quarantined) by the scrubber")
+	in.scrubPasses = reg.Counter("pmemcpy_scrub_passes_total",
+		"completed scrub passes")
+	in.scrubLat = reg.Histogram("pmemcpy_scrub_latency_ns",
+		"virtual ns consumed per scrub pass (read cost plus rate pacing)")
 
 	dev := n.Device
 	reg.CounterFunc("pmemcpy_device_persists_total", "successful device persists",
@@ -175,6 +199,14 @@ func (in *instruments) bridgeCache(c *blockCache) {
 		c.misses.Load)
 	in.reg.CounterFunc("pmemcpy_cache_invalidations_total", "block-index cache invalidations",
 		c.invalidations.Load)
+}
+
+// bridgeQuarantine registers the quarantine-size gauge (split from
+// construction like bridgeCache: the shared struct holding the quarantine is
+// built after the instruments).
+func (in *instruments) bridgeQuarantine(st *shared) {
+	in.reg.GaugeFunc("pmemcpy_quarantined_blocks", "blocks currently on the quarantine list",
+		st.quarLen.Load)
 }
 
 // sample reports whether this op's latency should be observed.

@@ -1,0 +1,566 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pmemcpy/internal/checksum"
+	"pmemcpy/internal/fsck"
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/sim"
+)
+
+// Integrity layer: detect and contain corruption instead of returning garbage.
+//
+// Every stored block carries a CRC32C (internal/checksum) computed during the
+// serialize-into-PMEM copy and published atomically with the block's metadata
+// — the value-ref record for whole values, the block-list record for array
+// blocks. Three consumers recompute it:
+//
+//   - verified reads (WithVerifyReads): LoadDatum/LoadBlock check the CRC of
+//     every gathered block before decoding, in full or sampled mode;
+//   - the scrubber (Scrub / WithScrubber): an explicit, rate-limited sweep
+//     over every published block that quarantines failures;
+//   - deep checks (DeepCheck, pmemfsck -deep, the crash-point explorer): an
+//     exhaustive diagnostic sweep that reports but does not quarantine.
+//
+// Clock discipline: CRC verification on the read path charges NO virtual
+// time — the checksum pass streams the same bytes the gather is about to
+// move, so its memory traffic overlaps the decode in the model. Virtual-time
+// results are therefore bit-identical across verify modes; E15 measures the
+// host-side wall cost instead. The scrubber is the opposite: it is an
+// explicit maintenance op, so it charges the device read cost of every block
+// it sweeps and additionally paces itself against the virtual clock when a
+// rate limit is set.
+//
+// Quarantine: blocks that fail a scrub are recorded in a persistent
+// quarantine list under the reserved "#quarantine" metadata key, so reads
+// fail fast with ErrCorrupt — across crashes and reopens — instead of
+// re-reading bad media. Delete and Compact drop freed PMIDs from the list,
+// since the allocator may hand the same storage to a healthy new block.
+
+// VerifyMode selects how aggressively reads check block CRCs.
+type VerifyMode int
+
+// Verify modes.
+const (
+	// VerifyOff performs no read-path CRC checks (the default); quarantine
+	// fail-fast still applies.
+	VerifyOff VerifyMode = iota
+	// VerifySampled fully verifies every verifySampleEvery-th load
+	// operation, bounding the steady-state overhead while still catching
+	// stuck-at corruption on hot data.
+	VerifySampled
+	// VerifyFull verifies every gathered block on every load.
+	VerifyFull
+)
+
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyOff:
+		return "off"
+	case VerifySampled:
+		return "sampled"
+	case VerifyFull:
+		return "full"
+	}
+	return fmt.Sprintf("VerifyMode(%d)", int(m))
+}
+
+// verifySampleEvery is the sampling stride of VerifySampled: every k-th load
+// is fully verified. Deterministic (a shared atomic counter, not a RNG) so
+// differential runs replay identically.
+const verifySampleEvery = 8
+
+// quarantineKey is the reserved metadata key holding the persistent
+// quarantine list. It sorts before every user id that does not itself start
+// with '#', keeping Keys() output stable, and decodeValueRef/decodeBlockList
+// reject its tag so it can never be misread as user data.
+const quarantineKey = "#quarantine"
+
+// shouldVerify reports whether the current load operation must CRC-check the
+// blocks it gathers.
+func (p *PMEM) shouldVerify() bool {
+	switch p.st.verify {
+	case VerifyFull:
+		return true
+	case VerifySampled:
+		return p.st.verifyCtr.Add(1)%verifySampleEvery == 0
+	default:
+		return false
+	}
+}
+
+// verifySlice recomputes the CRC32C of src and fails with a wrapped
+// ErrCorrupt identifying the id, pool offset, and length when it does not
+// match the published CRC. It charges no virtual time (see the package
+// comment above).
+func (p *PMEM) verifySlice(id string, blk pmdk.PMID, src []byte, want uint32) error {
+	p.st.ins.verifyBlocks.Inc()
+	if got := checksum.Sum(src); got != want {
+		p.st.ins.verifyFails.Inc()
+		return fmt.Errorf("core: id %q block at pool offset %d (%d bytes): crc %#08x, stored %#08x: %w",
+			id, int64(blk), len(src), got, want, ErrCorrupt)
+	}
+	return nil
+}
+
+// precheckJobs gates a gather plan before any byte is decoded: quarantined
+// blocks fail fast unconditionally, and when the load is selected for
+// verification every distinct source block's CRC is recomputed. Runs under
+// the id's read lock, so no block can be freed mid-check.
+func (p *PMEM) precheckJobs(id string, jobs []copyJob) error {
+	verify := p.shouldVerify()
+	seen := make(map[pmdk.PMID]bool, len(jobs))
+	for _, job := range jobs {
+		b := job.src
+		if seen[b.data] {
+			continue
+		}
+		seen[b.data] = true
+		if p.isQuarantined(b.data) {
+			return fmt.Errorf("core: id %q block at pool offset %d is quarantined: %w",
+				id, int64(b.data), ErrCorrupt)
+		}
+		if !verify {
+			continue
+		}
+		src, err := p.st.pool.Slice(b.data, b.encLen)
+		if err != nil {
+			return err
+		}
+		if err := p.verifySlice(id, b.data, src, b.crc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- quarantine ---
+
+func encodeQuarantine(ids []pmdk.PMID) []byte {
+	buf := make([]byte, 5+8*len(ids))
+	buf[0] = quarantineTag
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(buf[5+8*i:], uint64(id))
+	}
+	return buf
+}
+
+func decodeQuarantine(raw []byte) ([]pmdk.PMID, error) {
+	if len(raw) < 5 || raw[0] != quarantineTag {
+		return nil, fmt.Errorf("core: not a quarantine record")
+	}
+	n := binary.LittleEndian.Uint32(raw[1:])
+	if int64(n) > int64(len(raw)-5)/8 {
+		return nil, fmt.Errorf("core: quarantine record truncated")
+	}
+	out := make([]pmdk.PMID, n)
+	for i := range out {
+		out[i] = pmdk.PMID(binary.LittleEndian.Uint64(raw[5+8*i:]))
+	}
+	return out, nil
+}
+
+// loadQuarantine populates the DRAM mirror of the persistent quarantine list
+// at open time, so fail-fast reads work from the first op after a reopen.
+func (st *shared) loadQuarantine(clk *sim.Clock) error {
+	st.quar = make(map[pmdk.PMID]struct{})
+	if st.ht == nil {
+		return nil
+	}
+	raw, ok, err := st.ht.Get(clk, []byte(quarantineKey))
+	if err != nil || !ok {
+		return err
+	}
+	ids, err := decodeQuarantine(raw)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		st.quar[id] = struct{}{}
+	}
+	st.quarLen.Store(int64(len(st.quar)))
+	return nil
+}
+
+// isQuarantined reports whether blk is on the quarantine list. The common
+// case — nothing quarantined — is a single atomic load, keeping the check
+// invisible on hot read paths.
+func (p *PMEM) isQuarantined(blk pmdk.PMID) bool {
+	st := p.st
+	if st.quarLen.Load() == 0 {
+		return false
+	}
+	st.quarMu.Lock()
+	_, ok := st.quar[blk]
+	st.quarMu.Unlock()
+	return ok
+}
+
+// quarSnapshot returns the quarantined PMIDs sorted, for a deterministic
+// persistent encoding. Caller holds quarMu.
+func quarSnapshot(st *shared) []pmdk.PMID {
+	ids := make([]pmdk.PMID, 0, len(st.quar))
+	for id := range st.quar {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// quarantineBlocks adds blks to the quarantine and persists the updated list.
+func (p *PMEM) quarantineBlocks(blks []pmdk.PMID) error {
+	st := p.st
+	st.quarMu.Lock()
+	changed := false
+	for _, b := range blks {
+		if _, ok := st.quar[b]; !ok {
+			st.quar[b] = struct{}{}
+			changed = true
+		}
+	}
+	ids := quarSnapshot(st)
+	st.quarLen.Store(int64(len(st.quar)))
+	st.quarMu.Unlock()
+	if !changed || st.ht == nil {
+		return nil
+	}
+	return st.ht.Put(p.comm.Clock(), []byte(quarantineKey), encodeQuarantine(ids))
+}
+
+// unquarantine drops blks from the quarantine: their storage was freed, and
+// the allocator may reuse the same PMIDs for healthy new blocks. Best-effort
+// on the persistence side — the caller already committed the free, and a
+// stale persistent entry can only cause a spurious fail-fast after reopen,
+// never a silent wrong read.
+func (p *PMEM) unquarantine(blks []pmdk.PMID) {
+	st := p.st
+	if st.quarLen.Load() == 0 {
+		return
+	}
+	st.quarMu.Lock()
+	changed := false
+	for _, b := range blks {
+		if _, ok := st.quar[b]; ok {
+			delete(st.quar, b)
+			changed = true
+		}
+	}
+	ids := quarSnapshot(st)
+	st.quarLen.Store(int64(len(st.quar)))
+	st.quarMu.Unlock()
+	if !changed || st.ht == nil {
+		return
+	}
+	clk := p.comm.Clock()
+	if len(ids) == 0 {
+		_, _ = st.ht.Delete(clk, []byte(quarantineKey))
+		return
+	}
+	_ = st.ht.Put(clk, []byte(quarantineKey), encodeQuarantine(ids))
+}
+
+// Quarantined returns the currently quarantined pool offsets, sorted.
+func (p *PMEM) Quarantined() []int64 {
+	st := p.st
+	st.quarMu.Lock()
+	ids := quarSnapshot(st)
+	st.quarMu.Unlock()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+// --- scrubber ---
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	// Vars is the number of variables swept.
+	Vars int
+	// Blocks is the number of blocks whose CRC was verified.
+	Blocks int64
+	// Bytes is the total encoded bytes verified.
+	Bytes int64
+	// Corruptions is the number of blocks that failed their CRC this pass.
+	Corruptions int
+	// Quarantined is the number of blocks newly quarantined this pass (a
+	// block already quarantined is skipped, not re-counted).
+	Quarantined int
+	// Elapsed is the virtual time the pass consumed (device read cost plus
+	// rate-limit pacing).
+	Elapsed time.Duration
+}
+
+// String returns a one-line summary.
+func (r ScrubReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scrub: %d vars, %d blocks, %d bytes in %v", r.Vars, r.Blocks, r.Bytes, r.Elapsed)
+	if r.Corruptions > 0 {
+		fmt.Fprintf(&b, "; %d corrupt (%d quarantined)", r.Corruptions, r.Quarantined)
+	}
+	return b.String()
+}
+
+// Scrub sweeps every published block of the store, verifying each block's
+// CRC32C against the medium and quarantining failures so subsequent reads
+// fail fast with ErrCorrupt. The sweep order is deterministic — ids sorted,
+// blocks in publish order — and the pass is paced against the virtual clock:
+// each block charges its device read cost, and when the handle was mapped
+// WithScrubber(rate) the pass additionally sleeps (in virtual time) so its
+// throughput never exceeds rate bytes per virtual second. ctx cancels
+// between blocks; a canceled pass returns the partial report with ctx's
+// error.
+//
+// Scrub is an explicit maintenance operation: callers drive it from whatever
+// cadence they want (a background goroutine, a cron-like loop between
+// timesteps). Keeping the trigger in the caller's hands preserves the
+// simulator's determinism — virtual time advances only inside explicit API
+// calls.
+func (p *PMEM) Scrub(ctx context.Context) (ScrubReport, error) {
+	var rep ScrubReport
+	if p.st.layout != LayoutHashtable {
+		return rep, fmt.Errorf("core: Scrub requires the hashtable layout")
+	}
+	clk := p.comm.Clock()
+	start := clk.Now()
+	pace := &scrubPacer{start: int64(start)}
+	keys, err := p.Keys()
+	if err != nil {
+		return rep, err
+	}
+	in := p.st.ins
+	for _, id := range keys {
+		if strings.HasSuffix(id, DimsSuffix) || id == quarantineKey {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			rep.Elapsed = time.Duration(clk.Now() - start)
+			return rep, err
+		}
+		bad, err := p.scrubVar(ctx, id, &rep, pace)
+		if err != nil {
+			rep.Elapsed = time.Duration(clk.Now() - start)
+			return rep, err
+		}
+		rep.Vars++
+		if len(bad) > 0 {
+			rep.Quarantined += len(bad)
+			if err := p.quarantineBlocks(bad); err != nil {
+				rep.Elapsed = time.Duration(clk.Now() - start)
+				return rep, err
+			}
+		}
+	}
+	rep.Elapsed = time.Duration(clk.Now() - start)
+	in.scrubPasses.Inc()
+	in.scrubLat.Observe(int64(rep.Elapsed))
+	return rep, nil
+}
+
+// scrubVar verifies every block of one id under its read lock, returning the
+// PMIDs of newly found corrupt blocks (already-quarantined blocks are
+// skipped). The lock is released before the caller quarantines, since
+// quarantineBlocks persists through the shared hashtable.
+func (p *PMEM) scrubVar(ctx context.Context, id string, rep *ScrubReport, pace *scrubPacer) ([]pmdk.PMID, error) {
+	lock := p.varLock(id)
+	lock.RLock()
+	defer lock.RUnlock()
+	raw, ok, err := p.getValue(id)
+	if err != nil || !ok {
+		return nil, err // deleted since Keys(): not an error
+	}
+	var bad []pmdk.PMID
+	check := func(blk pmdk.PMID, encLen int64, want uint32) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if p.isQuarantined(blk) {
+			return nil
+		}
+		src, err := p.st.pool.Slice(blk, encLen)
+		if err != nil {
+			return err
+		}
+		p.chargeScrub(encLen, pace)
+		rep.Blocks++
+		rep.Bytes += encLen
+		p.st.ins.scrubBlocks.Inc()
+		if checksum.Sum(src) != want {
+			rep.Corruptions++
+			p.st.ins.scrubCorrupt.Inc()
+			bad = append(bad, blk)
+		}
+		return nil
+	}
+	switch {
+	case len(raw) > 0 && raw[0] == blockListTag:
+		blocks, err := decodeBlockList(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range blocks {
+			if err := check(b.data, b.encLen, b.crc); err != nil {
+				return bad, err
+			}
+		}
+	case len(raw) == valueRefLen && raw[0] == valueRefTag:
+		blk, n, crc, err := decodeValueRef(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(blk, n, crc); err != nil {
+			return bad, err
+		}
+	}
+	return bad, nil
+}
+
+// scrubPacer tracks one pass's progress against the rate limit.
+type scrubPacer struct {
+	start int64 // virtual ns at pass start
+	bytes int64 // bytes verified so far
+}
+
+// chargeScrub accounts one scrubbed block: the device read cost of streaming
+// its bytes, then — when a rate limit is configured — enough extra virtual
+// time to hold the pass at or under scrubRate bytes per virtual second.
+func (p *PMEM) chargeScrub(n int64, pace *scrubPacer) {
+	p.chargeDirectRead(n, 1)
+	rate := p.st.scrubRate
+	if rate <= 0 {
+		return
+	}
+	clk := p.comm.Clock()
+	pace.bytes += n
+	target := time.Duration(float64(pace.bytes) / float64(rate) * float64(time.Second))
+	since := time.Duration(int64(clk.Now()) - pace.start)
+	if target > since {
+		clk.Advance(target - since)
+	}
+}
+
+// --- deep check ---
+
+// DeepCheck exhaustively verifies every published block's CRC32C, regardless
+// of the handle's verify mode, and reports (but does not quarantine) every
+// mismatch with its id, block index, pool offset, and length. It is the
+// content-level companion of the structural fsck: pmemfsck -deep runs both,
+// and the crash-point explorer uses it to prove torn writes cannot escape
+// detection. DeepCheck charges no virtual time — it is a diagnostic, and
+// keeping it free means the explorer's timing matrices are unchanged by the
+// added sweep.
+func (p *PMEM) DeepCheck() (*fsck.DeepReport, error) {
+	rep := &fsck.DeepReport{}
+	if p.st.layout != LayoutHashtable {
+		return rep, nil
+	}
+	keys, err := p.Keys()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range keys {
+		if strings.HasSuffix(id, DimsSuffix) || id == quarantineKey {
+			continue
+		}
+		if err := p.deepCheckVar(id, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+func (p *PMEM) deepCheckVar(id string, rep *fsck.DeepReport) error {
+	lock := p.varLock(id)
+	lock.RLock()
+	defer lock.RUnlock()
+	raw, ok, err := p.getValue(id)
+	if err != nil || !ok {
+		return err
+	}
+	check := func(idx int, blk pmdk.PMID, encLen int64, want uint32) error {
+		src, err := p.st.pool.Slice(blk, encLen)
+		if err != nil {
+			return err
+		}
+		rep.Blocks++
+		rep.Bytes += encLen
+		if checksum.Sum(src) != want {
+			rep.Corrupt = append(rep.Corrupt, fsck.Corruption{
+				ID: id, Block: idx, Offset: int64(blk), Len: encLen,
+			})
+		}
+		return nil
+	}
+	switch {
+	case len(raw) > 0 && raw[0] == blockListTag:
+		blocks, err := decodeBlockList(raw)
+		if err != nil {
+			return err
+		}
+		for i, b := range blocks {
+			if err := check(i, b.data, b.encLen, b.crc); err != nil {
+				return err
+			}
+		}
+	case len(raw) == valueRefLen && raw[0] == valueRefTag:
+		blk, n, crc, err := decodeValueRef(raw)
+		if err != nil {
+			return err
+		}
+		return check(-1, blk, n, crc)
+	}
+	return nil
+}
+
+// VerifyVar fully verifies every block of one id (plus quarantine fail-fast),
+// regardless of the handle's verify mode. It backs Array.Verify.
+func (p *PMEM) VerifyVar(id string) error {
+	lock := p.varLock(id)
+	lock.RLock()
+	defer lock.RUnlock()
+	raw, ok, err := p.getValue(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: id %q: %w", id, ErrNotFound)
+	}
+	check := func(blk pmdk.PMID, encLen int64, want uint32) error {
+		if p.isQuarantined(blk) {
+			return fmt.Errorf("core: id %q block at pool offset %d is quarantined: %w",
+				id, int64(blk), ErrCorrupt)
+		}
+		src, err := p.st.pool.Slice(blk, encLen)
+		if err != nil {
+			return err
+		}
+		return p.verifySlice(id, blk, src, want)
+	}
+	switch {
+	case len(raw) > 0 && raw[0] == blockListTag:
+		blocks, err := decodeBlockList(raw)
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if err := check(b.data, b.encLen, b.crc); err != nil {
+				return err
+			}
+		}
+	case len(raw) == valueRefLen && raw[0] == valueRefTag:
+		blk, n, crc, err := decodeValueRef(raw)
+		if err != nil {
+			return err
+		}
+		return check(blk, n, crc)
+	}
+	return nil
+}

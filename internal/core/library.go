@@ -36,6 +36,9 @@ type Library struct {
 	MetricsSampling int
 	// Tracing enables span-style operation tracing on sessions.
 	Tracing bool
+	// VerifyReads selects the read-path CRC verification mode
+	// (VerifyOff/VerifySampled/VerifyFull).
+	VerifyReads VerifyMode
 }
 
 // Name implements pio.Library.
@@ -58,6 +61,7 @@ func (l Library) options() *Options {
 		Metrics:             l.Metrics,
 		MetricsSampling:     l.MetricsSampling,
 		Tracing:             l.Tracing,
+		VerifyReads:         l.VerifyReads,
 	}
 }
 
@@ -76,6 +80,12 @@ func (l Library) WithReadParallelism(p int) pio.Library {
 // WithMetrics implements pio.Instrumentable.
 func (l Library) WithMetrics() pio.Library {
 	l.Metrics = true
+	return l
+}
+
+// WithVerifyReads implements pio.Verifiable.
+func (l Library) WithVerifyReads(mode int) pio.Library {
+	l.VerifyReads = VerifyMode(mode)
 	return l
 }
 
@@ -144,6 +154,7 @@ var (
 	_ pio.Parallelizable     = Library{}
 	_ pio.ReadParallelizable = Library{}
 	_ pio.Instrumentable     = Library{}
+	_ pio.Verifiable         = Library{}
 )
 
 // Handle returns the underlying PMEM for callers that need the full API.

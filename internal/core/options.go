@@ -86,3 +86,19 @@ func WithMetricsSampling(k int) MmapOption {
 func WithTracing() MmapOption {
 	return mmapOptionFunc(func(o *Options) { o.Tracing = true })
 }
+
+// WithVerifyReads selects the read-path CRC verification mode: VerifyOff
+// (the default), VerifySampled (every k-th load fully verified), or
+// VerifyFull (every gathered block checked on every load). Verification
+// never advances the virtual clock, so virtual-time results are identical
+// across modes; E15 pins the host-side wall cost.
+func WithVerifyReads(m VerifyMode) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.VerifyReads = m })
+}
+
+// WithScrubber rate-limits Scrub at bytesPerSec bytes per virtual second:
+// each pass paces itself against the virtual clock so the sweep never
+// outruns the configured rate (0 = unpaced).
+func WithScrubber(bytesPerSec int64) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.ScrubRate = bytesPerSec })
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pmemcpy/internal/checksum"
 	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/serial"
 )
@@ -33,6 +34,7 @@ type shard struct {
 	encLen int64 // encoded size, computed before allocation
 	blk    pmdk.PMID
 	wrote  int64
+	crc    uint32 // CRC32C of the shard's encoded bytes, computed by its worker
 }
 
 // splitShards cuts the block (offs, counts, payload) into at most want
@@ -130,6 +132,12 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 			wrote, err := p.codec.EncodeTo(dsts[i], &shards[i].datum)
 			shards[i].wrote = int64(wrote)
 			errs[i] = err
+			if err == nil {
+				// Each worker checksums its own shard while the bytes are hot;
+				// shards publish as separate block records, so no combine step
+				// is needed here.
+				shards[i].crc = checksum.Sum(dsts[i][:wrote])
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -171,6 +179,7 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 			counts: shards[i].datum.Dims,
 			data:   shards[i].blk,
 			encLen: shards[i].wrote,
+			crc:    shards[i].crc,
 		})
 	}
 	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
@@ -215,6 +224,11 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 		workers = int(need - 1)
 	}
 	chunk := (need - 1 + int64(workers) - 1) / int64(workers)
+	// Per-chunk CRCs, indexed by worker; the coordinator folds them with
+	// checksum.Combine after the join so the published CRC covers the whole
+	// block without a second pass over the data.
+	chunkCRC := make([]uint32, workers)
+	chunkLen := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := int64(w) * chunk
@@ -226,12 +240,19 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int64) {
+		go func(w int, lo, hi int64) {
 			defer wg.Done()
 			copy(dst[1+lo:1+hi], d.Payload[lo:hi])
-		}(lo, hi)
+			chunkCRC[w] = checksum.Sum(dst[1+lo : 1+hi])
+			chunkLen[w] = hi - lo
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	// The block's CRC covers the type-prefix byte plus the chunked payload.
+	crc := checksum.Sum(dst[:1])
+	for w := 0; w < workers; w++ {
+		crc = checksum.Combine(crc, chunkCRC[w], chunkLen[w])
+	}
 	if in := p.st.ins; in.enabled {
 		in.shardBytes.Observe(chunk)
 	}
@@ -239,7 +260,7 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumChunk); err != nil {
 		return 0, err
 	}
-	rec := encodeValueRef(blk, need)
+	rec := encodeValueRef(blk, need, crc)
 	lock := p.varLock(id)
 	lock.Lock()
 	defer lock.Unlock()

@@ -99,15 +99,30 @@ func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
 	clk := p.comm.Clock()
 	cfg := p.node.Machine.Config()
 	sr, hasSR := p.codec.(statsReader)
+	// Statistics are decoded from stored bytes, so they get the same
+	// containment as loads: quarantined blocks fail fast, and under the
+	// handle's verify mode each block's CRC is recomputed before its header
+	// (or payload) is trusted. Otherwise a damaged characteristics header
+	// would silently skew MinMax while every data read stays verified.
+	verify := p.shouldVerify()
 	out := make([]BlockStats, 0, len(blocks))
 	for _, b := range blocks {
 		bs := BlockStats{
 			Offs:   append([]uint64(nil), b.offs...),
 			Counts: append([]uint64(nil), b.counts...),
 		}
+		if p.isQuarantined(b.data) {
+			return nil, fmt.Errorf("core: id %q block at pool offset %d is quarantined: %w",
+				id, int64(b.data), ErrCorrupt)
+		}
 		src, err := p.st.pool.Slice(b.data, b.encLen)
 		if err != nil {
 			return nil, err
+		}
+		if verify {
+			if err := p.verifySlice(id, b.data, src, b.crc); err != nil {
+				return nil, err
+			}
 		}
 		if hasSR {
 			mn, mx, okStats, err := sr.Stats(src)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pmemcpy/internal/checksum"
 	"pmemcpy/internal/nd"
 	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/serial"
@@ -66,8 +67,8 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 		for _, b := range blocks {
 			owned = append(owned, b.data)
 		}
-	case len(raw) == 17 && raw[0] == valueRefTag:
-		blk, _, err := decodeValueRef(raw)
+	case len(raw) == valueRefLen && raw[0] == valueRefTag:
+		blk, _, _, err := decodeValueRef(raw)
 		if err != nil {
 			return false, err
 		}
@@ -94,6 +95,9 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 		if err := tx.Commit(); err != nil {
 			return false, err
 		}
+		// Freed PMIDs may be reallocated to healthy blocks; dropping them
+		// from the quarantine keeps fail-fast reads from firing on reuse.
+		p.unquarantine(owned)
 	}
 	return true, nil
 }
@@ -173,12 +177,16 @@ func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
+	// The block's CRC covers the type prefix and the encoded payload — the
+	// exact bytes a verified read will see — and is published atomically with
+	// the pointer record below.
+	crc := checksum.Sum(dst[:int64(wrote)+1])
 	p.chargeStoreBytes(int64(wrote)+1, encPasses)
 	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumPayload); err != nil {
 		return 0, false, err
 	}
-	// Publish: the KV value is a (pmid, len) pointer record.
-	rec := encodeValueRef(blk, int64(wrote)+1)
+	// Publish: the KV value is a (pmid, len, crc) pointer record.
+	rec := encodeValueRef(blk, int64(wrote)+1, crc)
 	lock := p.varLock(id)
 	lock.Lock()
 	defer lock.Unlock()
@@ -207,29 +215,36 @@ func (p *PMEM) loadDatum(id string) (*serial.Datum, int64, error) {
 		return d, 0, err
 	}
 	clk := p.comm.Clock()
-	// The record read shares the id's lock: a concurrent republish frees the
-	// previous value record, so an unlocked Get could read freed bytes. The
-	// payload block itself is never freed by a republish (only Delete frees
-	// it), so decoding below needs no lock.
+	// The whole load shares the id's read lock: a concurrent republish frees
+	// the previous value record, and a concurrent Delete frees the payload
+	// block itself, so both the Get and the decode below must be covered.
 	lock := p.varLock(id)
 	lock.RLock()
+	defer lock.RUnlock()
 	raw, ok, err := p.getValue(id)
-	lock.RUnlock()
 	if err != nil {
 		return nil, 0, err
 	}
 	if !ok {
 		return nil, 0, fmt.Errorf("core: id %q: %w", id, ErrNotFound)
 	}
-	blk, n, err := decodeValueRef(raw)
+	blk, n, crc, err := decodeValueRef(raw)
 	if err != nil {
 		// The id exists but holds something else (a block list, raw
 		// metadata): a kind mismatch, not a missing id.
 		return nil, 0, fmt.Errorf("core: id %q does not hold a datum: %w", id, ErrTypeMismatch)
 	}
+	if p.isQuarantined(blk) {
+		return nil, 0, fmt.Errorf("core: id %q block %d is quarantined: %w", id, blk, ErrCorrupt)
+	}
 	src, err := p.st.pool.Slice(blk, n)
 	if err != nil {
 		return nil, 0, err
+	}
+	if p.shouldVerify() {
+		if err := p.verifySlice(id, blk, src, crc); err != nil {
+			return nil, 0, err
+		}
 	}
 	hint := &serial.Datum{Type: serial.DType(src[0])}
 	d, err := p.codec.Decode(src[1:], hint)
@@ -244,38 +259,49 @@ func (p *PMEM) loadDatum(id string) (*serial.Datum, int64, error) {
 }
 
 // valueRefTag distinguishes single-value pointer records from block lists;
-// blockListTag marks the block lists themselves. Raw metadata records (dims)
-// carry neither.
+// blockListTag marks the block lists themselves; quarantineTag marks the
+// store-wide quarantine list (integrity.go). Raw metadata records (dims)
+// carry none of them.
 const (
-	valueRefTag  = 0xA7
-	blockListTag = 0xB1
+	valueRefTag   = 0xA7
+	blockListTag  = 0xB1
+	quarantineTag = 0xC3
 )
 
-func encodeValueRef(blk pmdk.PMID, n int64) []byte {
-	rec := make([]byte, 17)
+// valueRefLen is the exact encoded size of a value ref:
+// tag + PMID + length + CRC32C.
+const valueRefLen = 1 + 8 + 8 + 4
+
+func encodeValueRef(blk pmdk.PMID, n int64, crc uint32) []byte {
+	rec := make([]byte, valueRefLen)
 	rec[0] = valueRefTag
 	binary.LittleEndian.PutUint64(rec[1:], uint64(blk))
 	binary.LittleEndian.PutUint64(rec[9:], uint64(n))
+	binary.LittleEndian.PutUint32(rec[17:], crc)
 	return rec
 }
 
-func decodeValueRef(raw []byte) (pmdk.PMID, int64, error) {
-	if len(raw) != 17 || raw[0] != valueRefTag {
-		return 0, 0, fmt.Errorf("core: not a value ref (%d bytes)", len(raw))
+func decodeValueRef(raw []byte) (pmdk.PMID, int64, uint32, error) {
+	if len(raw) != valueRefLen || raw[0] != valueRefTag {
+		return 0, 0, 0, fmt.Errorf("core: not a value ref (%d bytes)", len(raw))
 	}
 	return pmdk.PMID(binary.LittleEndian.Uint64(raw[1:])),
-		int64(binary.LittleEndian.Uint64(raw[9:])), nil
+		int64(binary.LittleEndian.Uint64(raw[9:])),
+		binary.LittleEndian.Uint32(raw[17:]), nil
 }
 
 // --- block (subarray) store/load: the parallel write path of Figure 3 ---
 
-// blockRec describes one stored block of a variable.
+// blockRec describes one stored block of a variable. crc is the CRC32C of
+// the block's encLen encoded bytes, computed during the serialize-into-PMEM
+// copy and published atomically with the rest of the record.
 type blockRec struct {
 	dtype  serial.DType
 	offs   []uint64
 	counts []uint64
 	data   pmdk.PMID
 	encLen int64
+	crc    uint32
 }
 
 // StoreBlock stores this rank's block of array id at the given offsets
@@ -342,6 +368,9 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 	if err != nil {
 		return 0, false, err
 	}
+	// Checksum the encoded bytes while they are still hot in cache — the
+	// published CRC covers exactly the range a verified read will slice.
+	crc := checksum.Sum(dst[:wrote])
 	p.chargeStoreBytes(int64(wrote), encPasses)
 	if err := p.st.pool.Mapping().Persist(clk, int64(blk), int64(wrote), ptBlockPayload); err != nil {
 		return 0, false, err
@@ -361,6 +390,7 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 		counts: append([]uint64(nil), counts...),
 		data:   blk,
 		encLen: int64(wrote),
+		crc:    crc,
 	})
 	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
 		return 0, false, err
@@ -399,7 +429,17 @@ func (p *PMEM) loadBlock(id string, offs, counts []uint64, dst []byte) (int64, b
 		return need, false, p.st.hier.loadBlock(p, id, rec, offs, counts, dst)
 	}
 
-	entry, _, err := p.blockIndex(id)
+	// The id's read lock is held across the whole gather — planning AND
+	// execution — not just the metadata read: a concurrent Compact (or
+	// Delete) publishes its pruned list and then frees the dropped blocks,
+	// so a gather still copying out of a planned block after the lock was
+	// released would read storage the allocator may already have handed to a
+	// concurrent store. Compact takes the write side of this lock, which
+	// now excludes it for the duration of the copy.
+	lock := p.varLock(id)
+	lock.RLock()
+	defer lock.RUnlock()
+	entry, _, err := p.blockIndexLocked(id)
 	if err != nil {
 		return 0, false, err
 	}
@@ -419,6 +459,11 @@ func (p *PMEM) loadBlock(id string, offs, counts []uint64, dst []byte) (int64, b
 	if covered < need {
 		return 0, false, fmt.Errorf("core: request on %q only covered %d of %d bytes: %w",
 			id, covered, need, ErrNotFound)
+	}
+	// Integrity gate: quarantined blocks fail fast, and (under WithVerifyReads)
+	// every gathered block's CRC is checked before its bytes are decoded.
+	if err := p.precheckJobs(id, jobs); err != nil {
+		return 0, false, err
 	}
 	if p.readParallelEligible(covered) && !jobsOverlap(jobs) {
 		return covered, true, p.loadJobsParallel(jobs, offs, counts, dst, esize, covered)
@@ -459,6 +504,8 @@ func encodeBlockList(blocks []blockRec) []byte {
 		buf = append(buf, tmp[:]...)
 		binary.LittleEndian.PutUint64(tmp[:], uint64(b.encLen))
 		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:4], b.crc)
+		buf = append(buf, tmp[:4]...)
 	}
 	return buf
 }
@@ -468,10 +515,10 @@ func decodeBlockList(raw []byte) ([]blockRec, error) {
 		return nil, fmt.Errorf("core: not a block list")
 	}
 	n := binary.LittleEndian.Uint32(raw[1:])
-	// Each record is at least 18 bytes (2-byte header + two PMIDs), so a
-	// count the buffer cannot possibly hold is corruption; rejecting it here
+	// Each record is at least 22 bytes (2-byte header + two PMIDs + CRC), so
+	// a count the buffer cannot possibly hold is corruption; rejecting it here
 	// keeps an attacker-controlled count from sizing the allocation below.
-	if int64(n) > int64(len(raw)-5)/18 {
+	if int64(n) > int64(len(raw)-5)/22 {
 		return nil, fmt.Errorf("core: block list truncated")
 	}
 	pos := 5
@@ -486,7 +533,7 @@ func decodeBlockList(raw []byte) ([]blockRec, error) {
 		if ndims > serial.MaxDims {
 			return nil, fmt.Errorf("core: block list rank %d", ndims)
 		}
-		if pos+16*ndims+16 > len(raw) {
+		if pos+16*ndims+20 > len(raw) {
 			return nil, fmt.Errorf("core: block list truncated")
 		}
 		b.offs = make([]uint64, ndims)
@@ -503,6 +550,8 @@ func decodeBlockList(raw []byte) ([]blockRec, error) {
 		pos += 8
 		b.encLen = int64(binary.LittleEndian.Uint64(raw[pos:]))
 		pos += 8
+		b.crc = binary.LittleEndian.Uint32(raw[pos:])
+		pos += 4
 		out = append(out, b)
 	}
 	return out, nil

@@ -73,8 +73,8 @@ func (p *PMEM) VerifyStore() []string {
 						key, i, b.encLen, usable)
 				}
 			}
-		case len(raw) == 17 && raw[0] == valueRefTag:
-			blk, n, err := decodeValueRef(raw)
+		case len(raw) == valueRefLen && raw[0] == valueRefTag:
+			blk, n, _, err := decodeValueRef(raw)
 			if err != nil {
 				violatef("store.valueref: %q: %v", key, err)
 				continue

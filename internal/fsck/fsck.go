@@ -49,6 +49,53 @@ func (r *Report) Summary() string {
 	return b.String()
 }
 
+// Corruption identifies one stored block whose bytes no longer match the
+// CRC32C published with its metadata.
+type Corruption struct {
+	// ID is the variable owning the block.
+	ID string
+	// Block is the index within the id's block list, or -1 for a whole-value
+	// pointer record (StoreDatum payloads).
+	Block int
+	// Offset is the pool offset of the block's payload.
+	Offset int64
+	// Len is the encoded length covered by the CRC.
+	Len int64
+}
+
+func (c Corruption) String() string {
+	if c.Block < 0 {
+		return fmt.Sprintf("id %q value at offset %d (%d bytes)", c.ID, c.Offset, c.Len)
+	}
+	return fmt.Sprintf("id %q block %d at offset %d (%d bytes)", c.ID, c.Block, c.Offset, c.Len)
+}
+
+// DeepReport is the result of a CRC sweep over every published block
+// (core.DeepCheck, pmemfsck -deep): the content-level companion of the
+// structural Report. The types live here, not in internal/core, because core
+// already imports this package for its crash-point explorer.
+type DeepReport struct {
+	// Blocks is the number of blocks whose CRC was verified.
+	Blocks int64
+	// Bytes is the total encoded bytes those CRCs cover.
+	Bytes int64
+	// Corrupt lists every block whose recomputed CRC differed, in the
+	// deterministic sweep order (ids sorted, blocks in publish order).
+	Corrupt []Corruption
+}
+
+// OK reports whether every CRC matched.
+func (r *DeepReport) OK() bool { return len(r.Corrupt) == 0 }
+
+// Summary returns a one-line human-readable result.
+func (r *DeepReport) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("deep check clean: %d blocks, %d bytes verified", r.Blocks, r.Bytes)
+	}
+	return fmt.Sprintf("%d corrupt block(s) of %d checked; first: %s",
+		len(r.Corrupt), r.Blocks, r.Corrupt[0])
+}
+
 // Check opens the pool in m (running crash recovery, as any consumer of the
 // pool would) and verifies its structural invariants. Failure to open at all
 // is itself reported as a violation rather than an error: a pool that cannot

@@ -55,6 +55,10 @@ type Params struct {
 	// not implement pio.Instrumentable ignore it) and captures an
 	// observability snapshot per phase into the Result.
 	Metrics bool
+	// VerifyReads asks the library for checksum-verified reads at the given
+	// mode (0 = off, 1 = sampled, 2 = full; libraries that do not implement
+	// pio.Verifiable ignore it). Used by the integrity ablation (E15).
+	VerifyReads int
 }
 
 // Result is one (library, ranks) measurement.
@@ -98,6 +102,11 @@ func Run(lib pio.Library, p Params) (Result, error) {
 	if p.Metrics {
 		if iz, ok := lib.(pio.Instrumentable); ok {
 			lib = iz.WithMetrics()
+		}
+	}
+	if p.VerifyReads != 0 {
+		if vz, ok := lib.(pio.Verifiable); ok {
+			lib = vz.WithVerifyReads(p.VerifyReads)
 		}
 	}
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}

@@ -104,3 +104,12 @@ type Instrumentable interface {
 	Library
 	WithMetrics() Library
 }
+
+// Verifiable is implemented by libraries whose reads can check per-block
+// checksums against the medium (pMEMCPY's integrity layer). WithVerifyReads
+// returns a copy configured with the given verification mode: 0 = off,
+// 1 = sampled, 2 = full. The harness uses it for the integrity ablation.
+type Verifiable interface {
+	Library
+	WithVerifyReads(mode int) Library
+}

@@ -23,11 +23,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"pmemcpy/internal/checksum"
 	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/sim"
 )
@@ -183,10 +183,11 @@ type statsCounters struct {
 	freeBytes    atomic.Int64
 }
 
+// headerChecksum guards the pool header with the same CRC32C the data path
+// uses for block checksums; the 32-bit sum is stored widened in the 64-bit
+// header slot so the layout is unchanged.
 func headerChecksum(h []byte) uint64 {
-	f := fnv.New64a()
-	f.Write(h[:hdrCksumEnd])
-	return f.Sum64()
+	return uint64(checksum.Sum(h[:hdrCksumEnd]))
 }
 
 // Create formats a new pool inside mapping m and returns it ready for use.

@@ -40,6 +40,7 @@ import (
 	"pmemcpy/internal/burstbuffer"
 	"pmemcpy/internal/bytesview"
 	"pmemcpy/internal/core"
+	"pmemcpy/internal/fsck"
 	"pmemcpy/internal/mpi"
 	"pmemcpy/internal/node"
 	"pmemcpy/internal/obs"
@@ -156,6 +157,12 @@ var (
 	// ErrMedia reports an uncorrectable (injected) media error that outlasted
 	// the device's retry/backoff budget.
 	ErrMedia = core.ErrMedia
+	// ErrCorrupt reports that stored bytes failed their CRC32C check — a
+	// verified read, the scrubber, or a deep check found the medium returned
+	// different bytes than were persisted — or that the block being read was
+	// quarantined by the scrubber. The error text identifies the id, block,
+	// and pool offset.
+	ErrCorrupt = core.ErrCorrupt
 )
 
 // MmapOption configures Mmap. A *Options struct is itself an MmapOption (the
@@ -191,7 +198,35 @@ var (
 	// WithTracing enables span-style operation tracing: persist/fence trace
 	// points nest under the API call that triggered them (see PMEM.TraceSpans).
 	WithTracing = core.WithTracing
+	// WithVerifyReads selects the read-path CRC verification mode (VerifyOff,
+	// VerifySampled, VerifyFull). Verification never advances virtual time.
+	WithVerifyReads = core.WithVerifyReads
+	// WithScrubber caps PMEM.Scrub at the given bytes per virtual second:
+	// each pass paces itself against the virtual clock (0 = unpaced).
+	WithScrubber = core.WithScrubber
 )
+
+// VerifyMode selects how aggressively reads check stored-block checksums.
+type VerifyMode = core.VerifyMode
+
+// Verify modes for WithVerifyReads.
+const (
+	// VerifyOff performs no read-path CRC checks (the default); reads of
+	// quarantined blocks still fail fast.
+	VerifyOff = core.VerifyOff
+	// VerifySampled fully verifies every k-th load operation.
+	VerifySampled = core.VerifySampled
+	// VerifyFull verifies every gathered block on every load.
+	VerifyFull = core.VerifyFull
+)
+
+// ScrubReport summarizes one PMEM.Scrub pass: variables and blocks swept,
+// bytes verified, corruptions found and quarantined, virtual time consumed.
+type ScrubReport = core.ScrubReport
+
+// DeepReport is PMEM.DeepCheck's result: every published block's CRC
+// verified, mismatches listed with their id, block index, and pool offset.
+type DeepReport = fsck.DeepReport
 
 // MetricsSnapshot is a point-in-time view of a handle's observability
 // metrics, returned by PMEM.Metrics. Snapshots render as Prometheus-style
