@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity bench-check fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async bench-check bench-async fuzz bench clean
 
 all: tier1
 
@@ -21,7 +21,7 @@ tier1: build vet test
 
 # verify is the pre-merge checklist: the tier-1 gate, the race detector, the
 # fault-injection suite, the observability gates, and the integrity battery.
-verify: tier1 race faults obs obsdeps integrity
+verify: tier1 race faults obs obsdeps integrity async
 
 # Integrity battery: checksum algebra, verified reads and quarantine, the
 # scrubber, the corruption differential (flavor C: ErrCorrupt or model bytes,
@@ -32,11 +32,25 @@ integrity:
 	$(GO) test -run 'TestDeep' ./cmd/pmemfsck/
 	$(GO) test -race -timeout 20m -run 'TestVerify|TestScrub|TestQuarantine|TestParallelStoreCRC|TestDifferentialCorruption|TestConcurrentCompactVsParallelGather' ./internal/core/
 
+# Async pipeline suite: the submission-queue unit tests and the -race queue
+# stress (TestAsyncQueueStress) in internal/core, the async crash-point
+# explorations and async-vs-sync differential flavors, and the async rows of
+# the public errors.Is conformance table.
+async:
+	$(GO) test -race -timeout 20m -run 'TestAsync|TestExploreAsync|TestCrashAsync|TestDifferentialAsync|TestCompactCancelled' ./internal/core/
+	$(GO) test -run 'TestErrorConformance' .
+
 # bench-check runs the E15 verified-read overhead experiment and fails when
 # the full-verify wall overhead exceeds its budget or any verify mode shifts
 # virtual time — the perf gate for integrity-layer changes.
 bench-check:
 	$(GO) run ./cmd/pmembench -ablation integrity -procs 4,8 -size 1e9 -phys 64e6
+
+# bench-async runs the E16 group-commit/coalescing experiment and fails when
+# coalescing buys less than 1.5x on the smallest-transfer write sweep — the
+# perf gate for submission-queue changes.
+bench-async:
+	$(GO) run ./cmd/pmembench -ablation async -procs 4
 
 # Fault-injection suite: the crash-point explorer smoke workloads (every
 # reached persist point crash-tested, clean and torn) plus the differential

@@ -1,6 +1,9 @@
 package pmemcpy
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Typed array handles: the v2 ergonomic surface over the free functions.
 // An Array[T] binds a PMEM handle to one array id and its element type once,
@@ -64,6 +67,19 @@ func (a Array[T]) LoadSub(dst []T, offs, counts []uint64) error {
 	return LoadSub(a.p, a.id, dst, offs, counts)
 }
 
+// StoreSubAsync submits the block store to the handle's async queue and
+// returns its Future; data must stay untouched until the Future completes.
+// Synchronous (completed Future) unless the handle was opened WithAsync.
+func (a Array[T]) StoreSubAsync(data []T, offs, counts []uint64) *Future {
+	return StoreSubAsync(a.p, a.id, data, offs, counts)
+}
+
+// LoadSubAsync submits the block load; dst is filled when the Future
+// completes, observing every earlier same-id submission on this handle.
+func (a Array[T]) LoadSubAsync(dst []T, offs, counts []uint64) *Future {
+	return LoadSubAsync(a.p, a.id, dst, offs, counts)
+}
+
 // Store is an alias for StoreSub, kept for existing call sites.
 func (a Array[T]) Store(data []T, offs, counts []uint64) error {
 	return a.StoreSub(data, offs, counts)
@@ -107,9 +123,10 @@ func (a Array[T]) All() ([]T, []uint64, error) {
 	return LoadSlice[T](a.p, a.id)
 }
 
-// Compact reclaims storage shadowed by overwrites of this array.
-func (a Array[T]) Compact() (int, error) {
-	return a.p.Compact(a.id)
+// Compact reclaims storage shadowed by overwrites of this array. ctx
+// cancellation stops the pass between its phases.
+func (a Array[T]) Compact(ctx context.Context) (int, error) {
+	return a.p.Compact(ctx, a.id)
 }
 
 // Verify checks every stored block of this array against its recorded

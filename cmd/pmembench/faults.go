@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -72,7 +73,7 @@ func runFaults() int {
 				if _, err := p.Delete("G"); err != nil {
 					return err
 				}
-				_, err := p.Compact("A")
+				_, err := p.Compact(context.Background(), "A")
 				return err
 			},
 			Verify: func(p *core.PMEM) error {

@@ -7,6 +7,7 @@ package pmemcpy_test
 // write/gather engines through representative failures of each class.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -80,7 +81,7 @@ func TestErrorConformance(t *testing.T) {
 		{
 			name: "Compact missing id",
 			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
-				_, err := pmemcpy.Compact(p, "missing")
+				_, err := pmemcpy.Compact(context.Background(), p, "missing")
 				return err
 			},
 			want: pmemcpy.ErrNotFound,
@@ -232,6 +233,70 @@ func TestErrorConformance(t *testing.T) {
 				return pmemcpy.StoreSub(p, "big", make([]float64, bigElems), []uint64{0}, []uint64{bigElems})
 			},
 			want: pmemcpy.ErrMedia,
+		},
+		{
+			name: "async StoreSub outside extent",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithAsync()},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				fut := pmemcpy.StoreSubAsync(p, "arr", make([]float64, 8), []uint64{12}, []uint64{8})
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name: "async Store missing Alloc",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithAsync()},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				fut := pmemcpy.StoreSubAsync(p, "missing", make([]float64, 4), []uint64{0}, []uint64{4})
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "async Load missing id",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithAsync()},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				dst := make([]float64, 4)
+				fut := pmemcpy.LoadSubAsync(p, "missing", dst, []uint64{0}, []uint64{4})
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "async Store media failure",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithAsync()},
+			fn: func(p *pmemcpy.PMEM, n *pmemcpy.Node) error {
+				n.Device.InjectTransient(0, 4)
+				defer n.Device.DisarmInjection()
+				fut := pmemcpy.StoreAsync(p, "scalar", int64(7))
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrMedia,
+		},
+		{
+			name: "async Load corrupt block",
+			opts: []pmemcpy.MmapOption{
+				pmemcpy.WithAsync(),
+				pmemcpy.WithVerifyReads(pmemcpy.VerifyFull),
+			},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := pmemcpy.StoreSub(p, "arr", make([]float64, 16), []uint64{0}, []uint64{16}); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if _, _, err := p.InjectCorruption("arr", 0, 8, 1, 0x04); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				dst := make([]float64, 16)
+				fut := pmemcpy.LoadSubAsync(p, "arr", dst, []uint64{0}, []uint64{16})
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrCorrupt,
 		},
 		{
 			name: "parallel gather coverage gap",

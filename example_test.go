@@ -14,7 +14,7 @@ import (
 func Example() {
 	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
 	_, err := pmemcpy.Run(node, 4, func(c *pmemcpy.Comm) error {
-		pmem, err := pmemcpy.Mmap(c, node, "/example.pool", nil)
+		pmem, err := pmemcpy.Mmap(c, node, "/example.pool")
 		if err != nil {
 			return err
 		}
@@ -40,7 +40,7 @@ func Example() {
 
 	// Read the dimensions back (stored automatically under "A#dims").
 	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		pmem, err := pmemcpy.Mmap(c, node, "/example.pool", nil)
+		pmem, err := pmemcpy.Mmap(c, node, "/example.pool")
 		if err != nil {
 			return err
 		}
@@ -61,7 +61,7 @@ func Example() {
 func ExampleStore() {
 	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
 	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, node, "/kv.pool", nil)
+		p, err := pmemcpy.Mmap(c, node, "/kv.pool")
 		if err != nil {
 			return err
 		}
@@ -94,7 +94,7 @@ func ExampleStoreStruct() {
 	}
 	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
 	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, node, "/st.pool", nil)
+		p, err := pmemcpy.Mmap(c, node, "/st.pool")
 		if err != nil {
 			return err
 		}
@@ -193,7 +193,7 @@ func Example_sentinels() {
 func ExampleMinMax() {
 	node := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
 	_, err := pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, node, "/mm.pool", nil)
+		p, err := pmemcpy.Mmap(c, node, "/mm.pool")
 		if err != nil {
 			return err
 		}

@@ -28,7 +28,7 @@ func main() {
 	// --- Burst phase: ranks dump state into PMEM at device speed ---
 	var burstT time.Duration
 	_, err := pmemcpy.Run(node, ranks, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/tier.pool", nil)
+		pm, err := pmemcpy.Mmap(c, node, "/tier.pool")
 		if err != nil {
 			return err
 		}
@@ -62,7 +62,7 @@ func main() {
 	var drainT time.Duration
 	var moved int64
 	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/tier.pool", nil)
+		pm, err := pmemcpy.Mmap(c, node, "/tier.pool")
 		if err != nil {
 			return err
 		}
@@ -88,7 +88,7 @@ func main() {
 
 	// --- Restage phase: pull the data back from the PFS and verify ---
 	_, err = pmemcpy.Run(node, 1, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/tier.pool", nil)
+		pm, err := pmemcpy.Mmap(c, node, "/tier.pool")
 		if err != nil {
 			return err
 		}

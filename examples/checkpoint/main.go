@@ -33,7 +33,7 @@ func main() {
 
 	// Phase 1: run until the power fails mid-iteration-5.
 	_, err := pmemcpy.Run(node, ranks, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/ckpt.pool", nil)
+		pm, err := pmemcpy.Mmap(c, node, "/ckpt.pool")
 		if err != nil {
 			return err
 		}
@@ -60,7 +60,7 @@ func main() {
 
 	// Phase 2: restart, recover, resume.
 	_, err = pmemcpy.Run(node, ranks, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, node, "/ckpt.pool", nil) // runs pool recovery
+		pm, err := pmemcpy.Mmap(c, node, "/ckpt.pool") // runs pool recovery
 		if err != nil {
 			return err
 		}

@@ -18,7 +18,7 @@ func main() {
 
 	times, err := pmemcpy.Run(node, nprocs, func(c *pmemcpy.Comm) error {
 		// --- Figure 3: parallel write ---
-		pmem, err := pmemcpy.Mmap(c, node, "/quickstart.pool", nil)
+		pmem, err := pmemcpy.Mmap(c, node, "/quickstart.pool")
 		if err != nil {
 			return err
 		}
@@ -50,7 +50,7 @@ func main() {
 		}
 
 		// --- Read back on every rank ---
-		pmem2, err := pmemcpy.Mmap(c, node, "/quickstart.pool", nil)
+		pmem2, err := pmemcpy.Mmap(c, node, "/quickstart.pool")
 		if err != nil {
 			return err
 		}

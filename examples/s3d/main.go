@@ -39,7 +39,7 @@ func main() {
 
 		// ---- Write phase ----
 		t0 := c.Clock().Now()
-		pmem, err := pmemcpy.Mmap(c, node, "/s3d.pool", nil)
+		pmem, err := pmemcpy.Mmap(c, node, "/s3d.pool")
 		if err != nil {
 			return err
 		}
@@ -65,7 +65,7 @@ func main() {
 
 		// ---- Read phase (symmetric) ----
 		t1 := c.Clock().Now()
-		pmem2, err := pmemcpy.Mmap(c, node, "/s3d.pool", nil)
+		pmem2, err := pmemcpy.Mmap(c, node, "/s3d.pool")
 		if err != nil {
 			return err
 		}

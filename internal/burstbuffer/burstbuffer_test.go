@@ -24,7 +24,7 @@ func newNode() *node.Node {
 func populate(t *testing.T, n *node.Node, path string) {
 	t.Helper()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, path, nil)
+		p, err := core.Mmap(c, n, path)
 		if err != nil {
 			return err
 		}
@@ -118,7 +118,7 @@ func TestDrainAndRestoreRoundTrip(t *testing.T) {
 
 	// Drain.
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/bb.pool", nil)
+		p, err := core.Mmap(c, n, "/bb.pool")
 		if err != nil {
 			return err
 		}
@@ -143,7 +143,7 @@ func TestDrainAndRestoreRoundTrip(t *testing.T) {
 	// Restore into a fresh store on a fresh node and verify.
 	n2 := newNode()
 	_, err = mpi.Run(n2.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n2, "/restored.pool", nil)
+		p, err := core.Mmap(c, n2, "/restored.pool")
 		if err != nil {
 			return err
 		}
@@ -182,7 +182,7 @@ func TestDrainWithEviction(t *testing.T) {
 	populate(t, n, "/evict.pool")
 	pfs := NewPFS(0, 0)
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/evict.pool", nil)
+		p, err := core.Mmap(c, n, "/evict.pool")
 		if err != nil {
 			return err
 		}
@@ -216,7 +216,7 @@ func TestDrainSlowerThanPMEMStore(t *testing.T) {
 	n := newNode()
 	var storeTime, drainTime time.Duration
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/burst.pool", nil)
+		p, err := core.Mmap(c, n, "/burst.pool")
 		if err != nil {
 			return err
 		}

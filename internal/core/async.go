@@ -1,0 +1,675 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pmemcpy/internal/checksum"
+	"pmemcpy/internal/nd"
+	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/serial"
+)
+
+// Asynchronous submission pipeline with write coalescing and group commit.
+//
+// StoreBlockAsync/StoreDatumAsync/LoadBlockAsync enqueue work on a per-handle
+// (per-rank) submission queue and return a Future immediately. Ops accumulate
+// into a batch; when the batch reaches the coalesce window it is sealed, and
+// sealed batches commit as a group: every store of the batch allocates out of
+// ONE pool transaction, adjacent same-id sub-stores merge into single blocks
+// (identity codecs only — their per-fragment CRC32Cs fold with
+// checksum.Combine into the published block CRC), and each id's new blocks
+// publish with ONE metadata update. That amortizes the three per-op costs that
+// dominate small writes — transaction begin/commit, the persist barrier, and
+// the hashtable publish — across the window, which is the small-write penalty
+// "Persistent Memory I/O Primitives" quantifies and E16 measures.
+//
+// Scheduling is deterministic, not free-running: virtual time advances only on
+// the clock of the rank that issues an API call, so a background scheduler
+// goroutine would make virtual-time results depend on host scheduling. Batches
+// therefore execute inline on the submitting rank at deterministic drain
+// points: the in-flight window filling up (backpressure on submit), an
+// explicit Flush/Drain, joining a Future, or any synchronous op on the handle
+// (which drains the queue first so program order per handle is preserved).
+// The pipeline is asynchronous in its contract — submission returns before
+// durability, completion is observed through the Future — while the crash
+// explorer still sees the same persist ordering on every replay.
+//
+// Visibility and durability contract:
+//
+//   - A completed Future's data is readable and crash-durable.
+//   - A pending submission is neither: it becomes visible only when its batch
+//     commits.
+//   - Same-id submissions complete in submission order; submissions to
+//     different ids may commit in a different order than they were submitted
+//     (the batch processes ids in first-appearance order).
+//   - Flush/Drain complete every previously submitted op; Munmap drains
+//     implicitly, so a closed handle never abandons queued writes.
+//   - Errors propagate through the Future (and, first-error, through
+//     Flush/Drain). Sentinels (ErrNotFound, ErrOutOfBounds, ErrMedia,
+//     ErrCorrupt, ...) survive the async boundary wrapped exactly as on the
+//     synchronous paths.
+
+// Async queue defaults, used when the options leave the knobs zero.
+const (
+	// defaultCoalesceWindow is the number of submissions that seal a batch.
+	defaultCoalesceWindow = 32
+	// defaultInflightWindows sizes the in-flight bound as a multiple of the
+	// coalesce window: submission stalls (committing the oldest batch) once
+	// this many windows are queued.
+	defaultInflightWindows = 8
+)
+
+// Future is the completion handle of one asynchronous submission.
+type Future struct {
+	eng *asyncEngine // nil: completed at construction (async disabled)
+
+	claimed atomic.Bool // completion claim (internal, first complete wins)
+	done    atomic.Bool // published completion flag
+	err     error       // op outcome, readable once done
+	bytes   int64       // encoded bytes moved, readable once done
+}
+
+// Done reports whether the submission has completed (successfully or not).
+func (f *Future) Done() bool { return f.done.Load() }
+
+// Bytes returns the encoded bytes the op moved. Valid once Done.
+func (f *Future) Bytes() int64 {
+	if !f.done.Load() {
+		return 0
+	}
+	return f.bytes
+}
+
+// Wait joins the future: it drives the submission queue until this op has
+// committed and returns the op's error (wrapping the same sentinels the
+// synchronous call would). If ctx is cancelled first, Wait returns the
+// context's error and the op stays queued — a later Wait, Flush, or Drain
+// completes it.
+func (f *Future) Wait(ctx context.Context) error {
+	if f.done.Load() {
+		return f.err
+	}
+	if f.eng == nil {
+		return f.err
+	}
+	if err := f.eng.flushUntil(ctx, f); err != nil {
+		return err
+	}
+	return f.err
+}
+
+// complete publishes the op outcome. First completion wins; the fields are
+// written before done is stored, so a Done observer reads consistent values.
+func (f *Future) complete(n int64, err error) {
+	if f.claimed.CompareAndSwap(false, true) {
+		f.bytes = n
+		f.err = err
+		f.done.Store(true)
+	}
+}
+
+// completedFuture builds an already-done future (the synchronous fallback when
+// the handle runs without WithAsync).
+func completedFuture(n int64, err error) *Future {
+	f := &Future{}
+	f.complete(n, err)
+	return f
+}
+
+// pendingKind discriminates queued submissions.
+type pendingKind uint8
+
+const (
+	pendStoreBlock pendingKind = iota
+	pendStoreDatum
+	pendLoad
+)
+
+// pendingOp is one queued submission. offs/counts are copied at submit; data
+// is NOT — the caller's buffer must stay untouched until the Future completes
+// (the same zero-copy contract asynchronous interfaces like io_uring put on
+// submitted buffers).
+type pendingOp struct {
+	kind   pendingKind
+	id     string
+	offs   []uint64
+	counts []uint64
+	data   []byte // store payload, or load destination for pendLoad
+	datum  *serial.Datum
+	fut    *Future
+}
+
+// asyncEngine is the per-handle submission queue. One exists per rank's PMEM
+// handle (queues are per-rank like clocks); the commit paths below run on the
+// goroutine that triggered the drain, under the engine mutex.
+type asyncEngine struct {
+	p        *PMEM
+	window   int // submissions per batch
+	inflight int // max queued submissions before backpressure
+
+	mu     sync.Mutex
+	cur    []pendingOp   // open batch, sealed at window size
+	sealed [][]pendingOp // committed oldest-first
+}
+
+func newAsyncEngine(p *PMEM, window, inflight int) *asyncEngine {
+	if window <= 0 {
+		window = defaultCoalesceWindow
+	}
+	if inflight <= 0 {
+		inflight = defaultInflightWindows * window
+	}
+	if inflight < window {
+		inflight = window
+	}
+	return &asyncEngine{p: p, window: window, inflight: inflight}
+}
+
+// AsyncEnabled reports whether this handle queues asynchronous submissions.
+// Without WithAsync (or under the hierarchy layout) the *Async calls run
+// eagerly and return completed Futures.
+func (p *PMEM) AsyncEnabled() bool { return p.async != nil }
+
+// AsyncPending returns the number of submissions queued on this handle.
+func (p *PMEM) AsyncPending() int {
+	if p.async == nil {
+		return 0
+	}
+	p.async.mu.Lock()
+	defer p.async.mu.Unlock()
+	return p.async.pendingLocked()
+}
+
+// StoreBlockAsync submits a block store (StoreBlock's asynchronous form) and
+// returns its Future. data must stay untouched until the Future completes.
+func (p *PMEM) StoreBlockAsync(id string, offs, counts []uint64, data []byte) *Future {
+	if p.async == nil {
+		n, _, err := p.storeBlock(id, offs, counts, data)
+		return completedFuture(n, err)
+	}
+	return p.async.submit(pendingOp{
+		kind:   pendStoreBlock,
+		id:     id,
+		offs:   append([]uint64(nil), offs...),
+		counts: append([]uint64(nil), counts...),
+		data:   data,
+	})
+}
+
+// StoreDatumAsync submits a whole-value store (StoreDatum's asynchronous
+// form). The datum's payload must stay untouched until the Future completes.
+func (p *PMEM) StoreDatumAsync(id string, d *serial.Datum) *Future {
+	if p.async == nil {
+		n, _, err := p.storeDatum(id, d)
+		return completedFuture(n, err)
+	}
+	return p.async.submit(pendingOp{kind: pendStoreDatum, id: id, datum: d})
+}
+
+// LoadBlockAsync submits a block load (LoadBlock's asynchronous form). dst is
+// filled when the Future completes; it observes every earlier submission to
+// the same id (same-id queue order) but not later ones.
+func (p *PMEM) LoadBlockAsync(id string, offs, counts []uint64, dst []byte) *Future {
+	if p.async == nil {
+		n, _, err := p.loadBlock(id, offs, counts, dst)
+		return completedFuture(n, err)
+	}
+	return p.async.submit(pendingOp{
+		kind:   pendLoad,
+		id:     id,
+		offs:   append([]uint64(nil), offs...),
+		counts: append([]uint64(nil), counts...),
+		data:   dst,
+	})
+}
+
+// Flush commits every submission queued so far. On a nil error, all their
+// Futures are complete and their data is durable. The first batch error is
+// returned (each affected Future carries its own); ctx cancellation stops
+// between batches and leaves the remainder queued.
+func (p *PMEM) Flush(ctx context.Context) error {
+	if p.async == nil {
+		return nil
+	}
+	return p.async.flushAll(ctx)
+}
+
+// Drain is Flush plus the guarantee that no submission is left in flight: in
+// this deterministic pipeline batches commit on the draining goroutine, so
+// the two coincide — Drain exists as the close-path name of the contract
+// (session Close and Munmap drain). Mirrors Scrub's context handling.
+func (p *PMEM) Drain(ctx context.Context) error {
+	return p.Flush(ctx)
+}
+
+// asyncBarrier orders a synchronous op after every queued asynchronous
+// submission on this handle: sync ops observe all previously submitted async
+// work, preserving per-handle program order. Batch errors stay on the
+// affected Futures (and on the next explicit Flush); a synchronous op never
+// fails because an unrelated queued op did.
+func (p *PMEM) asyncBarrier() {
+	if p.async != nil {
+		_ = p.async.flushAll(context.Background())
+	}
+}
+
+func (e *asyncEngine) pendingLocked() int {
+	n := len(e.cur)
+	for _, b := range e.sealed {
+		n += len(b)
+	}
+	return n
+}
+
+// takeOldestLocked removes and returns the oldest batch (sealing the open one
+// if it is all that remains), or nil when the queue is empty.
+func (e *asyncEngine) takeOldestLocked() []pendingOp {
+	if len(e.sealed) > 0 {
+		b := e.sealed[0]
+		e.sealed = e.sealed[1:]
+		return b
+	}
+	if len(e.cur) > 0 {
+		b := e.cur
+		e.cur = nil
+		return b
+	}
+	return nil
+}
+
+// submit enqueues op and applies backpressure: when the in-flight window is
+// full, the submitter commits the oldest batch inline before queueing — the
+// deterministic analogue of a producer stalling on a full submission ring.
+func (e *asyncEngine) submit(op pendingOp) *Future {
+	fut := &Future{eng: e}
+	op.fut = fut
+	in := e.p.st.ins
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.pendingLocked() >= e.inflight {
+		in.asyncBackpressure.Inc()
+		b := e.takeOldestLocked()
+		if b == nil {
+			break
+		}
+		_ = e.commitBatch(b) // errors live on the batch's futures
+	}
+	in.asyncSubmitted.Inc()
+	e.cur = append(e.cur, op)
+	e.p.st.asyncDepth.Add(1)
+	if len(e.cur) >= e.window {
+		e.sealed = append(e.sealed, e.cur)
+		e.cur = nil
+	}
+	return fut
+}
+
+// flushAll commits batches until the queue is empty, returning the first
+// batch error. ctx is checked between batches.
+func (e *asyncEngine) flushAll(ctx context.Context) error {
+	return e.flush(ctx, nil)
+}
+
+// flushUntil commits batches until f completes (another drainer may have
+// completed it already).
+func (e *asyncEngine) flushUntil(ctx context.Context, f *Future) error {
+	return e.flush(ctx, f)
+}
+
+func (e *asyncEngine) flush(ctx context.Context, until *Future) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for {
+		if until != nil && until.Done() {
+			return first
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b := e.takeOldestLocked()
+		if b == nil {
+			if until != nil && !until.Done() {
+				// The future was not queued here (impossible unless a future
+				// outlives its engine); fail it rather than spin.
+				until.complete(0, fmt.Errorf("core: future lost by its submission queue"))
+			}
+			return first
+		}
+		if err := e.commitBatch(b); err != nil && first == nil {
+			first = err
+		}
+	}
+}
+
+// batchFatal reports whether a commit error should abort the rest of the
+// batch. Per-op conditions (missing id, bounds, type, corruption) fail only
+// their own Future; everything else — device failures, media errors, broken
+// metadata transactions — poisons the remaining ops, which complete with the
+// same error.
+func batchFatal(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, ErrTypeMismatch) &&
+		!errors.Is(err, ErrOutOfBounds) &&
+		!errors.Is(err, ErrCorrupt)
+}
+
+// commitBatch executes one batch on the calling goroutine. Consecutive block
+// stores form group commits (commitStores); datum stores and loads execute in
+// queue position, so same-id submission order is preserved across kinds.
+func (e *asyncEngine) commitBatch(ops []pendingOp) error {
+	p := e.p
+	in := p.st.ins
+	in.asyncBatches.Inc()
+	var start int64
+	if in.enabled {
+		start = int64(p.comm.Clock().Now())
+		in.asyncBatchOps.Observe(int64(len(ops)))
+	}
+	var firstErr error
+	for i := 0; i < len(ops); {
+		if batchFatal(firstErr) {
+			ops[i].fut.complete(0, firstErr)
+			i++
+			continue
+		}
+		switch ops[i].kind {
+		case pendLoad:
+			op := ops[i]
+			n, _, err := p.loadBlock(op.id, op.offs, op.counts, op.data)
+			op.fut.complete(n, err)
+			if batchFatal(err) && firstErr == nil {
+				firstErr = err
+			}
+			i++
+		case pendStoreDatum:
+			op := ops[i]
+			n, _, err := p.storeDatum(op.id, op.datum)
+			op.fut.complete(n, err)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			i++
+		default: // pendStoreBlock: take the maximal run of block stores
+			j := i
+			for j < len(ops) && ops[j].kind == pendStoreBlock {
+				j++
+			}
+			if err := e.commitStores(ops[i:j]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			i = j
+		}
+	}
+	p.st.asyncDepth.Add(-int64(len(ops)))
+	if in.enabled && in.sample() {
+		in.asyncBatchLat.Observe(int64(p.comm.Clock().Now()) - start)
+	}
+	return firstErr
+}
+
+// asyncFrag is one submitted sub-store inside a commit unit.
+type asyncFrag struct {
+	fut    *Future
+	datum  serial.Datum
+	encLen int64
+}
+
+// asyncUnit is one block the group commit allocates, fills, persists, and
+// publishes: either a single submission or a merged run of adjacent ones.
+type asyncUnit struct {
+	offs   []uint64
+	counts []uint64
+	frags  []asyncFrag
+	encLen int64
+	blk    pmdk.PMID
+	wrote  int64
+	crc    uint32
+}
+
+// idGroup is one id's ordered slice of units within a group commit.
+type idGroup struct {
+	id    string
+	dtype serial.DType
+	units []asyncUnit
+}
+
+// commitStores is the group commit: validate, coalesce, allocate every block
+// in one transaction, encode and persist each unit, then publish each id's
+// additions with a single metadata update.
+func (e *asyncEngine) commitStores(stores []pendingOp) error {
+	p := e.p
+	clk := p.comm.Clock()
+	in := p.st.ins
+	encPasses, _ := p.codec.CostProfile()
+	ie, ok := p.codec.(serial.IdentityEncoder)
+	identity := ok && ie.IdentityEncode()
+
+	// 1. Validate each submission against its dims (exactly the synchronous
+	// checks, so the wrapped sentinels match) and group by id in
+	// first-appearance order, coalescing adjacent runs as they arrive.
+	var order []*idGroup
+	groups := make(map[string]*idGroup)
+	for i := range stores {
+		op := &stores[i]
+		rec, err := p.loadDimsLocked(op.id)
+		if err != nil {
+			op.fut.complete(0, err)
+			continue
+		}
+		if err := nd.CheckBlock(rec.dims, op.offs, op.counts); err != nil {
+			op.fut.complete(0, err)
+			continue
+		}
+		esize := rec.dtype.Size()
+		need := int64(nd.Size(op.counts)) * int64(esize)
+		if int64(len(op.data)) < need {
+			op.fut.complete(0, fmt.Errorf("core: data %d bytes, block needs %d: %w",
+				len(op.data), need, ErrOutOfBounds))
+			continue
+		}
+		frag := asyncFrag{
+			fut:   op.fut,
+			datum: serial.Datum{Type: rec.dtype, Dims: op.counts, Payload: op.data[:need]},
+		}
+		frag.encLen = int64(p.codec.EncodedSize(&frag.datum))
+		g := groups[op.id]
+		if g == nil {
+			g = &idGroup{id: op.id, dtype: rec.dtype}
+			groups[op.id] = g
+			order = append(order, g)
+		}
+		// Coalesce: merge into the id's last unit when the codec's encoding
+		// is a plain payload copy and this fragment extends the unit's region
+		// contiguously along dimension 0 (other dims identical). Merging only
+		// consecutive same-id submissions preserves shadowing order.
+		if identity && len(g.units) > 0 {
+			u := &g.units[len(g.units)-1]
+			if adjacentDim0(u.offs, u.counts, op.offs, op.counts) {
+				u.counts[0] += op.counts[0]
+				u.frags = append(u.frags, frag)
+				u.encLen += frag.encLen
+				in.asyncCoalesced.Inc()
+				continue
+			}
+		}
+		g.units = append(g.units, asyncUnit{
+			offs:   append([]uint64(nil), op.offs...),
+			counts: append([]uint64(nil), op.counts...),
+			frags:  []asyncFrag{frag},
+			encLen: frag.encLen,
+		})
+	}
+
+	var units []*asyncUnit
+	for _, g := range order {
+		for i := range g.units {
+			units = append(units, &g.units[i])
+		}
+	}
+	if len(units) == 0 {
+		return nil
+	}
+	// failAll completes every store future of the run with err. Only used
+	// before any publish happened; complete is first-wins, so futures already
+	// carrying a validation error are untouched.
+	failAll := func(err error) {
+		for _, u := range units {
+			for fi := range u.frags {
+				u.frags[fi].fut.complete(0, err)
+			}
+		}
+	}
+
+	// 2. ONE transaction allocates every unit's block — the first of the
+	// three amortizations group commit buys over per-op stores.
+	tx, err := p.st.pool.Begin(clk)
+	if err != nil {
+		failAll(err)
+		return err
+	}
+	for _, u := range units {
+		blk, err := p.st.pool.Alloc(tx, u.encLen)
+		if err != nil {
+			tx.Abort()
+			failAll(err)
+			return err
+		}
+		u.blk = blk
+	}
+	if err := tx.Commit(); err != nil {
+		failAll(err)
+		return err
+	}
+
+	// 3. Encode each unit directly into its mapped block and persist it with
+	// ONE barrier per unit: a merged unit's fragments encode back-to-back and
+	// their CRC32Cs fold with checksum.Combine, so the published CRC covers
+	// the whole block without a second pass. A mid-wave failure fails the
+	// whole run (nothing is published yet) and leaves the allocated blocks
+	// unpublished — recoverable garbage, like every post-commit failure path
+	// of the synchronous store.
+	for _, u := range units {
+		dst, err := p.st.pool.Slice(u.blk, u.encLen)
+		if err != nil {
+			failAll(err)
+			return err
+		}
+		if err := p.st.pool.Mapping().Capture(int64(u.blk), u.encLen); err != nil {
+			failAll(err)
+			return err
+		}
+		var off int64
+		for fi := range u.frags {
+			frag := &u.frags[fi]
+			wrote, err := p.codec.EncodeTo(dst[off:off+frag.encLen], &frag.datum)
+			if err != nil {
+				failAll(err)
+				return err
+			}
+			fcrc := checksum.Sum(dst[off : off+int64(wrote)])
+			if fi == 0 {
+				u.crc = fcrc
+			} else {
+				u.crc = checksum.Combine(u.crc, fcrc, int64(wrote))
+			}
+			off += int64(wrote)
+		}
+		u.wrote = off
+		p.chargeStoreBytes(u.wrote, encPasses)
+		pt := ptAsyncPayload
+		if len(u.frags) > 1 {
+			pt = ptAsyncMerge
+		}
+		if err := p.st.pool.Mapping().Persist(clk, int64(u.blk), u.wrote, pt); err != nil {
+			failAll(err)
+			return err
+		}
+		if in.enabled {
+			in.asyncBatchBytes.Observe(u.wrote)
+		}
+	}
+
+	// 4. Publish per id, in first-appearance order: each id's new blocks
+	// append to its block list with a single metadata update, so a crash
+	// leaves an id wholly before or wholly after its group — never between.
+	var firstErr error
+	for gi, g := range order {
+		if len(g.units) == 0 {
+			continue
+		}
+		lock := p.varLock(g.id)
+		lock.Lock()
+		blocks, _, err := p.loadBlockList(g.id)
+		if err == nil {
+			for i := range g.units {
+				u := &g.units[i]
+				blocks = append(blocks, blockRec{
+					dtype:  g.dtype,
+					offs:   u.offs,
+					counts: u.counts,
+					data:   u.blk,
+					encLen: u.wrote,
+					crc:    u.crc,
+				})
+			}
+			err = p.putValue(g.id, encodeBlockList(blocks))
+		}
+		if err == nil {
+			p.invalidateCache(g.id)
+			in.asyncPublishes.Inc()
+		}
+		lock.Unlock()
+		for i := range g.units {
+			for fi := range g.units[i].frags {
+				f := &g.units[i].frags[fi]
+				if err != nil {
+					f.fut.complete(0, err)
+				} else {
+					f.fut.complete(f.encLen, nil)
+				}
+			}
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if batchFatal(err) {
+				// Poison the remaining groups: their payloads persisted but
+				// the metadata path is failing.
+				for _, g2 := range order[gi+1:] {
+					for i := range g2.units {
+						for fi := range g2.units[i].frags {
+							g2.units[i].frags[fi].fut.complete(0, err)
+						}
+					}
+				}
+				return firstErr
+			}
+		}
+	}
+	return firstErr
+}
+
+// adjacentDim0 reports whether region (bOffs, bCounts) extends (aOffs,
+// aCounts) contiguously along dimension 0 with every other dimension equal —
+// the merge-compatibility test for coalescing.
+func adjacentDim0(aOffs, aCounts, bOffs, bCounts []uint64) bool {
+	if len(aOffs) != len(bOffs) || len(aCounts) != len(bCounts) {
+		return false
+	}
+	if len(aOffs) == 0 || bOffs[0] != aOffs[0]+aCounts[0] {
+		return false
+	}
+	for d := 1; d < len(aOffs); d++ {
+		if aOffs[d] != bOffs[d] || aCounts[d] != bCounts[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -128,7 +129,7 @@ func TestBlockCacheInvalidationOnCompactAndDelete(t *testing.T) {
 		}
 		st, _ := p.Stats()
 		invBefore := st.CacheInvalidations
-		freed, err := p.Compact("A")
+		freed, err := p.Compact(context.Background(), "A")
 		if err != nil {
 			return err
 		}

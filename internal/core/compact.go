@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pmemcpy/internal/pmdk"
@@ -16,16 +17,25 @@ import (
 // of several newer blocks is kept — so Compact never changes what reads
 // return; the invariant is verified by the tests, which compare full-array
 // contents before and after.
-func (p *PMEM) Compact(id string) (int, error) {
+//
+// ctx cancellation (mirroring Scrub) is honoured before the analysis and
+// before the free phase; once the pruned list is published the pass runs to
+// completion, so cancellation never leaks more than one transaction's worth
+// of work and never dangles pointers.
+func (p *PMEM) Compact(ctx context.Context, id string) (int, error) {
+	p.asyncBarrier()
 	done := p.beginOp(opCompact, id)
-	freed, err := p.compact(id)
+	freed, err := p.compact(ctx, id)
 	done(false, 0, err)
 	return freed, err
 }
 
-func (p *PMEM) compact(id string) (int, error) {
+func (p *PMEM) compact(ctx context.Context, id string) (int, error) {
 	if p.st.layout == LayoutHierarchy {
 		return 0, fmt.Errorf("core: Compact requires the hashtable layout")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	clk := p.comm.Clock()
 	lock := p.varLock(id)
@@ -61,6 +71,9 @@ func (p *PMEM) compact(id string) (int, error) {
 	}
 	if len(victims) == 0 {
 		return 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 
 	// Publish the pruned list first, then free the storage: a crash between

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"pmemcpy/internal/bytesview"
@@ -46,7 +47,7 @@ func TestCompactFreesShadowedBlocks(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		freed, err := p.Compact("A")
+		freed, err := p.Compact(context.Background(), "A")
 		if err != nil {
 			return err
 		}
@@ -61,7 +62,7 @@ func TestCompactFreesShadowedBlocks(t *testing.T) {
 			t.Error("Compact changed visible data")
 		}
 		// Idempotent.
-		freed, err = p.Compact("A")
+		freed, err = p.Compact(context.Background(), "A")
 		if err != nil || freed != 0 {
 			t.Errorf("second Compact = %d, %v", freed, err)
 		}
@@ -90,7 +91,7 @@ func TestCompactKeepsPartialOverlaps(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		freed, err := p.Compact("B")
+		freed, err := p.Compact(context.Background(), "B")
 		if err != nil {
 			return err
 		}
@@ -123,7 +124,7 @@ func TestCompactReclaimsPoolSpace(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if _, err := p.Compact("C"); err != nil {
+		if _, err := p.Compact(context.Background(), "C"); err != nil {
 			return err
 		}
 		st1, err := p.Stats()
@@ -139,7 +140,7 @@ func TestCompactReclaimsPoolSpace(t *testing.T) {
 			if err := storeAll(p, "C", float64(round+10), []uint64{0}, dims); err != nil {
 				return err
 			}
-			if _, err := p.Compact("C"); err != nil {
+			if _, err := p.Compact(context.Background(), "C"); err != nil {
 				return err
 			}
 		}
@@ -156,13 +157,13 @@ func TestCompactReclaimsPoolSpace(t *testing.T) {
 
 func TestCompactErrors(t *testing.T) {
 	single(t, nil, func(p *core.PMEM) error {
-		if _, err := p.Compact("missing"); err == nil {
+		if _, err := p.Compact(context.Background(), "missing"); err == nil {
 			t.Error("Compact(missing) succeeded")
 		}
 		return nil
 	})
 	single(t, &core.Options{Layout: core.LayoutHierarchy}, func(p *core.PMEM) error {
-		if _, err := p.Compact("x"); err == nil {
+		if _, err := p.Compact(context.Background(), "x"); err == nil {
 			t.Error("Compact on hierarchy layout succeeded")
 		}
 		return nil

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -189,7 +190,7 @@ func TestConcurrentCompactVsParallelGather(t *testing.T) {
 				if err := p.StoreBlock("grid", full, cnt, bytesview.Bytes(vals)); err != nil {
 					return err
 				}
-				if _, err := p.Compact("grid"); err != nil {
+				if _, err := p.Compact(context.Background(), "grid"); err != nil {
 					return err
 				}
 			}

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -109,6 +110,20 @@ type Options struct {
 	// second (0 = unpaced): the pass advances the virtual clock so that its
 	// sweep never outruns the configured rate.
 	ScrubRate int64
+	// Async enables the asynchronous submission pipeline (async.go): the
+	// *Async entry points queue ops and return Futures, and batches of up to
+	// CoalesceWindow submissions group-commit together. Hashtable layout
+	// only; under the hierarchy layout the *Async calls run eagerly.
+	Async bool
+	// CoalesceWindow is the number of queued submissions that seal a batch
+	// for group commit (0 = default 32). Adjacent same-id sub-stores inside
+	// a batch merge into single blocks under identity codecs.
+	CoalesceWindow int
+	// MaxInflight bounds the submission queue: once this many ops are
+	// queued, submitting blocks (committing the oldest batch inline) — the
+	// pipeline's backpressure. 0 defaults to 8 coalesce windows; values
+	// below one window are raised to it.
+	MaxInflight int
 }
 
 // PMEM is the library handle, the analogue of pmemcpy::PMEM in Figure 2.
@@ -119,18 +134,23 @@ type PMEM struct {
 	node  *node.Node
 	codec serial.Codec
 	st    *shared
+	// async is this rank's submission queue (async.go), nil unless the
+	// handle group was mapped WithAsync on the hashtable layout. Queues are
+	// per-rank like clocks; the pool and metadata they commit into are
+	// shared.
+	async *asyncEngine
 }
 
 // shared is the node-wide state every rank's handle points at.
 type shared struct {
-	layout   Layout
-	mapSync  bool
-	staged   bool // StagedSerialization ablation
-	par      int  // write copy-engine workers per rank (<=1: serial path)
-	rpar     int  // gather (read) engine workers per rank (<=1: serial path)
-	pool     *pmdk.Pool
-	ht       *pmdk.Hashtable
-	hier     *hierStore
+	layout  Layout
+	mapSync bool
+	staged  bool // StagedSerialization ablation
+	par     int  // write copy-engine workers per rank (<=1: serial path)
+	rpar    int  // gather (read) engine workers per rank (<=1: serial path)
+	pool    *pmdk.Pool
+	ht      *pmdk.Hashtable
+	hier    *hierStore
 	// varLocks maps id -> *sync.RWMutex. Writers hold the write lock across
 	// their metadata republish; readers hold the read lock only while
 	// reading persistent metadata on a cache miss (hits bypass it).
@@ -153,6 +173,15 @@ type shared struct {
 	quarMu    sync.Mutex
 	quar      map[pmdk.PMID]struct{}
 	quarLen   atomic.Int64
+
+	// Async pipeline configuration (async.go), resolved by openShared so
+	// every rank's engine runs the same window/backpressure bounds.
+	// asyncDepth aggregates the ranks' queued-submission counts for the
+	// queue-depth gauge.
+	asyncOn       bool
+	asyncWindow   int
+	asyncInflight int
+	asyncDepth    atomic.Int64
 
 	// Copy-engine counters, surfaced through StoreStats.
 	parallelStores   atomic.Int64 // stores that took the parallel path
@@ -204,7 +233,11 @@ func Mmap(c *mpi.Comm, n *node.Node, path string, opts ...MmapOption) (*PMEM, er
 	if st == nil {
 		return nil, fmt.Errorf("core: rank 0 failed to open %q", path)
 	}
-	return &PMEM{comm: c, node: n, codec: codec, st: st}, nil
+	p := &PMEM{comm: c, node: n, codec: codec, st: st}
+	if st.asyncOn {
+		p.async = newAsyncEngine(p, st.asyncWindow, st.asyncInflight)
+	}
+	return p, nil
 }
 
 // openShared builds the node-wide state (rank 0 only).
@@ -335,6 +368,23 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		verify:    o.VerifyReads,
 		scrubRate: o.ScrubRate,
 	}
+	if o.Async {
+		window := o.CoalesceWindow
+		if window <= 0 {
+			window = defaultCoalesceWindow
+		}
+		inflight := o.MaxInflight
+		if inflight <= 0 {
+			inflight = defaultInflightWindows * window
+		}
+		if inflight < window {
+			inflight = window
+		}
+		st.asyncOn = true
+		st.asyncWindow = window
+		st.asyncInflight = inflight
+		st.ins.bridgeAsync(st)
+	}
 	// Repopulate the quarantine fail-fast mirror from the persistent list, so
 	// a reopen after a crash keeps refusing reads of known-bad blocks.
 	if err := st.loadQuarantine(clk); err != nil {
@@ -359,10 +409,19 @@ func installTracer(o *Options, n *node.Node, st *shared) {
 	n.Device.SetEventSink(tr)
 }
 
-// Munmap closes the handle collectively: every rank's outstanding stores are
-// already persistent (stores persist eagerly); Munmap synchronizes the ranks.
+// Munmap closes the handle collectively. The rank's submission queue drains
+// first — a closed handle never abandons queued asynchronous writes — and a
+// drain failure is reported after the ranks synchronize, so the collective
+// still completes on every rank.
 func (p *PMEM) Munmap() error {
-	return p.comm.Barrier()
+	var derr error
+	if p.async != nil {
+		derr = p.async.flushAll(context.Background())
+	}
+	if err := p.comm.Barrier(); err != nil {
+		return err
+	}
+	return derr
 }
 
 // Comm returns the communicator the handle was mapped with.
@@ -496,6 +555,7 @@ func (p *PMEM) chargeParallelRead(n int64, passes float64, workers int) {
 // pmem.alloc<T>): it stores dims under id+"#dims". Ranks may all call it;
 // the first definition wins and later identical definitions are no-ops.
 func (p *PMEM) Alloc(id string, dtype serial.DType, gdims []uint64) error {
+	p.asyncBarrier()
 	done := p.beginOp(opAlloc, id)
 	err := p.alloc(id, dtype, gdims)
 	done(false, 0, err)

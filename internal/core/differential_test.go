@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -316,7 +317,7 @@ func applyDiffOp(p *core.PMEM, op diffOp, hier bool) error {
 		if hier {
 			return nil // semantically a no-op for reads; layout doesn't support it
 		}
-		_, err := p.Compact(op.id)
+		_, err := p.Compact(context.Background(), op.id)
 		return err
 	case "corrupt":
 		if hier {

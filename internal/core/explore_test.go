@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -92,7 +93,7 @@ func exploreSerialScript() core.Script {
 			if _, err := p.Delete("G"); err != nil {
 				return err
 			}
-			_, err := p.Compact("A")
+			_, err := p.Compact(context.Background(), "A")
 			return err
 		},
 		Verify: func(p *core.PMEM) error {
@@ -520,7 +521,7 @@ func TestBlockcacheFreshAfterCrash(t *testing.T) {
 		node.WithDeviceOptions(pmem.WithCrashTracking()))
 	n.Machine.SetConcurrency(1)
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/cache.pool", nil)
+		p, err := core.Mmap(c, n, "/cache.pool")
 		if err != nil {
 			return err
 		}
@@ -539,7 +540,7 @@ func TestBlockcacheFreshAfterCrash(t *testing.T) {
 	n.Device.Crash(pmem.CrashKeepAll, nil)
 
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/cache.pool", nil)
+		p, err := core.Mmap(c, n, "/cache.pool")
 		if err != nil {
 			return err
 		}

@@ -95,6 +95,19 @@ type instruments struct {
 	scrubCorrupt *obs.Counter
 	scrubPasses  *obs.Counter
 	scrubLat     *obs.Histogram
+
+	// Async pipeline series (async.go). Counters are always on — the
+	// coalescing ratio E16 gates on is submitted/publishes — while the shape
+	// histograms follow the Options.Metrics switch and the batch-latency
+	// histogram (which reads the clock) is additionally sampled.
+	asyncSubmitted    *obs.Counter
+	asyncBatches      *obs.Counter
+	asyncPublishes    *obs.Counter
+	asyncCoalesced    *obs.Counter
+	asyncBackpressure *obs.Counter
+	asyncBatchOps     *obs.Histogram
+	asyncBatchBytes   *obs.Histogram
+	asyncBatchLat     *obs.Histogram
 }
 
 // newInstruments builds the registry for one handle group. pool is nil for
@@ -147,6 +160,23 @@ func newInstruments(o *Options, n *node.Node, pool *pmdk.Pool) *instruments {
 		"completed scrub passes")
 	in.scrubLat = reg.Histogram("pmemcpy_scrub_latency_ns",
 		"virtual ns consumed per scrub pass (read cost plus rate pacing)")
+
+	in.asyncSubmitted = reg.Counter("pmemcpy_async_submitted_total",
+		"ops submitted to the asynchronous pipeline")
+	in.asyncBatches = reg.Counter("pmemcpy_async_batches_total",
+		"batches committed by the asynchronous pipeline")
+	in.asyncPublishes = reg.Counter("pmemcpy_async_publishes_total",
+		"metadata publishes issued by async group commits (coalescing ratio = submitted/publishes)")
+	in.asyncCoalesced = reg.Counter("pmemcpy_async_coalesced_total",
+		"submissions absorbed into an adjacent submission's block by coalescing")
+	in.asyncBackpressure = reg.Counter("pmemcpy_async_backpressure_total",
+		"submissions that stalled on the in-flight bound and committed a batch inline")
+	in.asyncBatchOps = reg.Histogram("pmemcpy_async_batch_ops",
+		"submissions per committed async batch")
+	in.asyncBatchBytes = reg.Histogram("pmemcpy_async_batch_bytes",
+		"encoded bytes per block written by async group commits")
+	in.asyncBatchLat = reg.Histogram("pmemcpy_async_batch_latency_ns",
+		"virtual ns per committed async batch")
 
 	dev := n.Device
 	reg.CounterFunc("pmemcpy_device_persists_total", "successful device persists",
@@ -207,6 +237,14 @@ func (in *instruments) bridgeCache(c *blockCache) {
 func (in *instruments) bridgeQuarantine(st *shared) {
 	in.reg.GaugeFunc("pmemcpy_quarantined_blocks", "blocks currently on the quarantine list",
 		st.quarLen.Load)
+}
+
+// bridgeAsync registers the async queue-depth gauge (split from construction
+// like bridgeQuarantine: the shared struct holding the depth counter is built
+// after the instruments). The gauge aggregates every rank's queue.
+func (in *instruments) bridgeAsync(st *shared) {
+	in.reg.GaugeFunc("pmemcpy_async_queue_depth", "ops queued on the async submission queues",
+		st.asyncDepth.Load)
 }
 
 // sample reports whether this op's latency should be observed.

@@ -523,6 +523,7 @@ func (p *PMEM) deepCheckVar(id string, rep *fsck.DeepReport) error {
 // VerifyVar fully verifies every block of one id (plus quarantine fail-fast),
 // regardless of the handle's verify mode. It backs Array.Verify.
 func (p *PMEM) VerifyVar(id string) error {
+	p.asyncBarrier()
 	lock := p.varLock(id)
 	lock.RLock()
 	defer lock.RUnlock()

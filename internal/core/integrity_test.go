@@ -36,7 +36,7 @@ func verifySingle(t *testing.T, mode core.VerifyMode, fn func(p *core.PMEM) erro
 	t.Helper()
 	n := newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/integrity.pool", nil, core.WithVerifyReads(mode))
+		p, err := core.Mmap(c, n, "/integrity.pool", core.WithVerifyReads(mode))
 		if err != nil {
 			return err
 		}
@@ -168,7 +168,7 @@ func TestVerifyVarAndMetrics(t *testing.T) {
 func TestParallelStoreCRCsVerify(t *testing.T) {
 	n := newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/par.pool", &core.Options{Parallelism: 4})
+		p, err := core.Mmap(c, n, "/par.pool", core.WithParallelism(4))
 		if err != nil {
 			return err
 		}
@@ -232,7 +232,7 @@ func TestScrubDeterministic(t *testing.T) {
 		n := scrubStore(t, "/scrub.pool")
 		var rep core.ScrubReport
 		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/scrub.pool", nil)
+			p, err := core.Mmap(c, n, "/scrub.pool")
 			if err != nil {
 				return err
 			}
@@ -262,7 +262,7 @@ func TestScrubRateLimit(t *testing.T) {
 	const rate = 1 << 20 // 1 MiB per virtual second
 	n := scrubStore(t, "/paced.pool")
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/paced.pool", nil, core.WithScrubber(rate))
+		p, err := core.Mmap(c, n, "/paced.pool", core.WithScrubber(rate))
 		if err != nil {
 			return err
 		}
@@ -287,7 +287,7 @@ func TestScrubRateLimit(t *testing.T) {
 func TestScrubCancellation(t *testing.T) {
 	n := scrubStore(t, "/cancel.pool")
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/cancel.pool", nil)
+		p, err := core.Mmap(c, n, "/cancel.pool")
 		if err != nil {
 			return err
 		}
@@ -310,7 +310,7 @@ func TestScrubCancellation(t *testing.T) {
 func TestQuarantinePersistsAcrossReopen(t *testing.T) {
 	n := scrubStore(t, "/quar.pool")
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/quar.pool", nil)
+		p, err := core.Mmap(c, n, "/quar.pool")
 		if err != nil {
 			return err
 		}
@@ -330,7 +330,7 @@ func TestQuarantinePersistsAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/quar.pool", nil)
+		p, err := core.Mmap(c, n, "/quar.pool")
 		if err != nil {
 			return err
 		}
@@ -371,7 +371,7 @@ func TestQuarantinePersistsAcrossReopen(t *testing.T) {
 func TestQuarantineKeyHiddenFromSweeps(t *testing.T) {
 	n := scrubStore(t, "/hidden.pool")
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/hidden.pool", nil)
+		p, err := core.Mmap(c, n, "/hidden.pool")
 		if err != nil {
 			return err
 		}

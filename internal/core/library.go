@@ -39,6 +39,13 @@ type Library struct {
 	// VerifyReads selects the read-path CRC verification mode
 	// (VerifyOff/VerifySampled/VerifyFull).
 	VerifyReads VerifyMode
+	// Async routes session writes through the asynchronous submission
+	// pipeline (queued, coalesced, group-committed); Close drains the queue.
+	Async bool
+	// CoalesceWindow is the async batch size (0 = default 32).
+	CoalesceWindow int
+	// MaxInflight is the async queue bound (0 = 8 windows).
+	MaxInflight int
 }
 
 // Name implements pio.Library.
@@ -62,6 +69,9 @@ func (l Library) options() *Options {
 		MetricsSampling:     l.MetricsSampling,
 		Tracing:             l.Tracing,
 		VerifyReads:         l.VerifyReads,
+		Async:               l.Async,
+		CoalesceWindow:      l.CoalesceWindow,
+		MaxInflight:         l.MaxInflight,
 	}
 }
 
@@ -86,6 +96,14 @@ func (l Library) WithMetrics() pio.Library {
 // WithVerifyReads implements pio.Verifiable.
 func (l Library) WithVerifyReads(mode int) pio.Library {
 	l.VerifyReads = VerifyMode(mode)
+	return l
+}
+
+// WithAsync implements pio.Asyncable.
+func (l Library) WithAsync(window, inflight int) pio.Library {
+	l.Async = true
+	l.CoalesceWindow = window
+	l.MaxInflight = inflight
 	return l
 }
 
@@ -122,8 +140,15 @@ func (s *session) DefineVar(v pio.Var) error {
 	return s.p.Alloc(v.Name, v.Type, v.GlobalDims)
 }
 
-// Write implements pio.Writer.
+// Write implements pio.Writer. On an async handle the write is submitted to
+// the pipeline and the call returns immediately; commit errors surface
+// through Close's drain (the pio contract: the dataset is durable once Close
+// returns nil).
 func (s *session) Write(name string, offs, counts []uint64, data []byte) error {
+	if s.p.AsyncEnabled() {
+		s.p.StoreBlockAsync(name, offs, counts, data)
+		return nil
+	}
 	return s.p.StoreBlock(name, offs, counts, data)
 }
 
@@ -147,14 +172,15 @@ func (s *session) Close() error {
 func (s *session) Metrics() obs.Snapshot { return s.p.Metrics() }
 
 var (
-	_ pio.Writer         = (*session)(nil)
-	_ pio.Reader         = (*session)(nil)
-	_ pio.Instrumented   = (*session)(nil)
+	_ pio.Writer             = (*session)(nil)
+	_ pio.Reader             = (*session)(nil)
+	_ pio.Instrumented       = (*session)(nil)
 	_ pio.Library            = Library{}
 	_ pio.Parallelizable     = Library{}
 	_ pio.ReadParallelizable = Library{}
 	_ pio.Instrumentable     = Library{}
 	_ pio.Verifiable         = Library{}
+	_ pio.Asyncable          = Library{}
 )
 
 // Handle returns the underlying PMEM for callers that need the full API.

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -39,7 +40,7 @@ func goldenScript(p *core.PMEM) error {
 	if err := p.LoadBlock("grid", []uint64{0}, []uint64{64}, make([]byte, len(raw))); err != nil {
 		return err
 	}
-	if _, err := p.Compact("grid"); err != nil {
+	if _, err := p.Compact(context.Background(), "grid"); err != nil {
 		return err
 	}
 	if err := p.StoreDatum("step", &serial.Datum{Type: serial.Int64, Payload: bytesview.Bytes([]int64{42})}); err != nil {

@@ -1,10 +1,9 @@
 package core
 
-// MmapOption configures Mmap. Two kinds of values implement it: a *Options
-// struct (the original configuration surface — applying it overwrites every
-// field, so pre-existing call sites behave exactly as before) and the
-// functional options below, which each touch one field. Options apply in
-// argument order.
+// MmapOption configures Mmap. The functional options below are the
+// configuration surface: each touches one field, and options apply in
+// argument order. A *Options struct also implements the interface as a
+// deprecated compatibility shim — see ApplyMmapOption.
 type MmapOption interface {
 	ApplyMmapOption(*Options)
 }
@@ -12,6 +11,11 @@ type MmapOption interface {
 // ApplyMmapOption makes *Options itself an MmapOption: the whole struct is
 // the configuration. A nil *Options (the historical "defaults please"
 // argument) applies nothing.
+//
+// Deprecated: the struct form is a thin shim kept so v1 call sites compile
+// unchanged; it overwrites every field, so it cannot compose with other
+// options placed before it. New code should pass functional options
+// (WithCodec, WithParallelism, WithAsync, ...) instead.
 func (o *Options) ApplyMmapOption(dst *Options) {
 	if o != nil {
 		*dst = *o
@@ -101,4 +105,28 @@ func WithVerifyReads(m VerifyMode) MmapOption {
 // outruns the configured rate (0 = unpaced).
 func WithScrubber(bytesPerSec int64) MmapOption {
 	return mmapOptionFunc(func(o *Options) { o.ScrubRate = bytesPerSec })
+}
+
+// WithAsync enables the asynchronous submission pipeline: the *Async entry
+// points queue ops and return Futures, and queued stores group-commit in
+// batches (one transaction and one metadata publish per batch, adjacent
+// same-id sub-stores coalesced into single blocks under identity codecs).
+// Hashtable layout only; under the hierarchy layout the *Async calls run
+// eagerly. Tune with WithCoalesceWindow and WithMaxInflight.
+func WithAsync() MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.Async = true })
+}
+
+// WithCoalesceWindow sets how many queued submissions seal a batch for group
+// commit (0 = default 32). Larger windows amortize more transaction, persist,
+// and publish cost per op but delay completion of queued Futures.
+func WithCoalesceWindow(n int) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.CoalesceWindow = n })
+}
+
+// WithMaxInflight bounds the async submission queue: once n ops are queued,
+// submitting stalls and commits the oldest batch inline (backpressure).
+// 0 defaults to 8 coalesce windows; values below one window are raised to it.
+func WithMaxInflight(n int) MmapOption {
+	return mmapOptionFunc(func(o *Options) { o.MaxInflight = n })
 }

@@ -15,4 +15,9 @@ var (
 	ptBlockPayload = pmem.RegisterPoint("core.block.payload")
 	// storeBlockParallel's per-shard payload flush.
 	ptBlockShard = pmem.RegisterPoint("core.block.shard")
+	// The async group commit's per-unit payload flush (async.go): one point
+	// for single-submission units, one for units that coalesced several
+	// adjacent sub-stores into one block.
+	ptAsyncPayload = pmem.RegisterPoint("core.async.payload")
+	ptAsyncMerge   = pmem.RegisterPoint("core.async.merge")
 )

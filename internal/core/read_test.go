@@ -71,10 +71,10 @@ func TestLoadBlockParallelMatchesSerial(t *testing.T) {
 	})
 
 	sels := [][2]uint64{
-		{0, elems},          // whole array, 4-block gather
-		{1, elems - 2},      // odd offset, interior
+		{0, elems},             // whole array, 4-block gather
+		{1, elems - 2},         // odd offset, interior
 		{elems / 4, elems / 2}, // spans two block boundaries
-		{7, 3},              // tiny read, below the parallel floor
+		{7, 3},                 // tiny read, below the parallel floor
 	}
 	for _, rpar := range []int{1, 8} {
 		opts := &core.Options{ReadParallelism: rpar}

@@ -84,6 +84,7 @@ func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
 	if p.st.layout == LayoutHierarchy {
 		return nil, fmt.Errorf("core: block statistics require the hashtable layout")
 	}
+	p.asyncBarrier()
 	entry, ver, err := p.blockIndex(id)
 	if err != nil {
 		return nil, err

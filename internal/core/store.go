@@ -32,6 +32,7 @@ func (p *PMEM) getValue(id string) ([]byte, bool, error) {
 // Delete removes id (and not its "#dims" companion; delete that separately
 // if desired). It reports whether the id existed.
 func (p *PMEM) Delete(id string) (bool, error) {
+	p.asyncBarrier()
 	done := p.beginOp(opDelete, id)
 	existed, err := p.deleteValue(id)
 	done(false, 0, err)
@@ -106,6 +107,7 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 // so tooling output (pmemcli, pmemfsck) and tests are deterministic across
 // hashtable bucket layouts.
 func (p *PMEM) Keys() ([]string, error) {
+	p.asyncBarrier()
 	clk := p.comm.Clock()
 	var out []string
 	var err error
@@ -129,6 +131,7 @@ func (p *PMEM) Keys() ([]string, error) {
 // StoreDatum stores a complete datum (scalar, string, or whole array) under
 // id. The value is serialized with the handle's codec directly into PMEM.
 func (p *PMEM) StoreDatum(id string, d *serial.Datum) error {
+	p.asyncBarrier()
 	done := p.beginOp(opStoreDatum, id)
 	bytes, parallel, err := p.storeDatum(id, d)
 	done(parallel, bytes, err)
@@ -200,6 +203,7 @@ func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 // LoadDatum loads a datum stored with StoreDatum, deserializing directly
 // from PMEM. The returned payload is a private copy.
 func (p *PMEM) LoadDatum(id string) (*serial.Datum, error) {
+	p.asyncBarrier()
 	done := p.beginOp(opLoadDatum, id)
 	d, bytes, err := p.loadDatum(id)
 	done(false, bytes, err)
@@ -309,6 +313,7 @@ type blockRec struct {
 // dimensions must have been declared with Alloc. data holds the block's
 // row-major bytes.
 func (p *PMEM) StoreBlock(id string, offs, counts []uint64, data []byte) error {
+	p.asyncBarrier()
 	done := p.beginOp(opStoreBlock, id)
 	bytes, parallel, err := p.storeBlock(id, offs, counts, data)
 	done(parallel, bytes, err)
@@ -406,6 +411,7 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 // large non-overlapping plans on a handle with read workers, executed by the
 // parallel gather engine (readplan.go).
 func (p *PMEM) LoadBlock(id string, offs, counts []uint64, dst []byte) error {
+	p.asyncBarrier()
 	done := p.beginOp(opLoadBlock, id)
 	bytes, parallel, err := p.loadBlock(id, offs, counts, dst)
 	done(parallel, bytes, err)

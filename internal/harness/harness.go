@@ -59,6 +59,15 @@ type Params struct {
 	// mode (0 = off, 1 = sampled, 2 = full; libraries that do not implement
 	// pio.Verifiable ignore it). Used by the integrity ablation (E15).
 	VerifyReads int
+	// Async asks the library for asynchronously pipelined writes (libraries
+	// that do not implement pio.Asyncable ignore it): writes queue and
+	// group-commit in batches of up to CoalesceWindow submissions, and Close
+	// drains the queue. Used by the coalescing ablation (E16).
+	Async bool
+	// CoalesceWindow is the async batch size (0 = library default).
+	CoalesceWindow int
+	// MaxInflight is the async queue bound (0 = library default).
+	MaxInflight int
 }
 
 // Result is one (library, ranks) measurement.
@@ -107,6 +116,11 @@ func Run(lib pio.Library, p Params) (Result, error) {
 	if p.VerifyReads != 0 {
 		if vz, ok := lib.(pio.Verifiable); ok {
 			lib = vz.WithVerifyReads(p.VerifyReads)
+		}
+	}
+	if p.Async {
+		if az, ok := lib.(pio.Asyncable); ok {
+			lib = az.WithAsync(p.CoalesceWindow, p.MaxInflight)
 		}
 	}
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}

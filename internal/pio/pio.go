@@ -113,3 +113,15 @@ type Verifiable interface {
 	Library
 	WithVerifyReads(mode int) Library
 }
+
+// Asyncable is implemented by libraries whose writes can run through an
+// asynchronous submission pipeline with write coalescing and group commit
+// (pMEMCPY's async engine). WithAsync returns a copy whose sessions queue
+// writes in batches of up to window submissions with at most inflight ops
+// queued (0 selects the library defaults); the session's Close drains the
+// queue, so a closed session's data is durable. The harness uses it for the
+// coalescing ablation (E16).
+type Asyncable interface {
+	Library
+	WithAsync(window, inflight int) Library
+}

@@ -33,6 +33,7 @@
 package pmemcpy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -204,6 +205,16 @@ var (
 	// WithScrubber caps PMEM.Scrub at the given bytes per virtual second:
 	// each pass paces itself against the virtual clock (0 = unpaced).
 	WithScrubber = core.WithScrubber
+	// WithAsync enables the asynchronous submission pipeline: StoreAsync,
+	// StoreSubAsync, and LoadSubAsync queue their ops and return Futures,
+	// and queued stores group-commit in batches (see PMEM.Flush/Drain).
+	WithAsync = core.WithAsync
+	// WithCoalesceWindow sets how many queued async submissions seal a batch
+	// for group commit (0 = default 32).
+	WithCoalesceWindow = core.WithCoalesceWindow
+	// WithMaxInflight bounds the async submission queue; a full queue applies
+	// backpressure to submitters (0 = 8 coalesce windows).
+	WithMaxInflight = core.WithMaxInflight
 )
 
 // VerifyMode selects how aggressively reads check stored-block checksums.
@@ -361,6 +372,35 @@ func LoadSub[T Scalar](p *PMEM, id string, dst []T, offs, counts []uint64) error
 	return p.LoadBlock(id, offs, counts, bytesview.Bytes(dst))
 }
 
+// Future is the completion handle of one asynchronous submission: Done
+// reports completion, Wait joins it (driving the queue) and returns the op's
+// error, Bytes the encoded bytes moved. A completed Future's data is readable
+// and crash-durable; see PMEM.Flush and PMEM.Drain for the batch-level
+// contract.
+type Future = core.Future
+
+// StoreSubAsync is StoreSub's asynchronous form: it submits the block store
+// to the handle's queue (opened WithAsync) and returns its Future. data must
+// stay untouched until the Future completes. Without WithAsync it stores
+// synchronously and returns a completed Future. Adjacent same-id submissions
+// coalesce into single blocks under identity codecs ("raw").
+func StoreSubAsync[T Scalar](p *PMEM, id string, data []T, offs, counts []uint64) *Future {
+	return p.StoreBlockAsync(id, offs, counts, bytesview.Bytes(data))
+}
+
+// LoadSubAsync is LoadSub's asynchronous form: dst is filled when the Future
+// completes, observing every earlier same-id submission on this handle.
+func LoadSubAsync[T Scalar](p *PMEM, id string, dst []T, offs, counts []uint64) *Future {
+	return p.LoadBlockAsync(id, offs, counts, bytesview.Bytes(dst))
+}
+
+// StoreAsync is Store's asynchronous form: it submits the scalar store and
+// returns its Future.
+func StoreAsync[T Scalar](p *PMEM, id string, v T) *Future {
+	d := &serial.Datum{Type: dtypeOf[T](), Payload: bytesview.Bytes([]T{v})}
+	return p.StoreDatumAsync(id, d)
+}
+
 // StoreSlice stores a whole array in one call: it declares dims (Alloc) and
 // stores the full extent.
 func StoreSlice[T Scalar](p *PMEM, id string, data []T, dims ...uint64) error {
@@ -422,7 +462,10 @@ func Restore(p *PMEM, pfs *PFS, prefix string) (int64, error) {
 // Compact reclaims pool storage shadowed by overwrites of array id (stores
 // append blocks; compaction frees blocks fully contained in newer ones). It
 // returns the number of blocks freed and never changes what reads observe.
-func Compact(p *PMEM, id string) (int, error) { return p.Compact(id) }
+// ctx cancellation (mirroring Scrub) stops the pass between its phases.
+func Compact(ctx context.Context, p *PMEM, id string) (int, error) {
+	return p.Compact(ctx, id)
+}
 
 // BlockStats describes one stored block's shape and value range.
 type BlockStats = core.BlockStats

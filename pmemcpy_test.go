@@ -17,7 +17,7 @@ func single(t *testing.T, fn func(p *pmemcpy.PMEM) error) {
 	t.Helper()
 	n := newNode()
 	_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, n, "/t.pool", nil)
+		p, err := pmemcpy.Mmap(c, n, "/t.pool")
 		if err != nil {
 			return err
 		}
@@ -117,7 +117,7 @@ func TestFigure3Example(t *testing.T) {
 	n := newNode()
 	const nprocs = 4
 	_, err := pmemcpy.Run(n, nprocs, func(c *pmemcpy.Comm) error {
-		pm, err := pmemcpy.Mmap(c, n, "/fig3.pool", nil)
+		pm, err := pmemcpy.Mmap(c, n, "/fig3.pool")
 		if err != nil {
 			return err
 		}
@@ -140,7 +140,7 @@ func TestFigure3Example(t *testing.T) {
 		}
 
 		// Read everything back on every rank and verify.
-		pm2, err := pmemcpy.Mmap(c, n, "/fig3.pool", nil)
+		pm2, err := pmemcpy.Mmap(c, n, "/fig3.pool")
 		if err != nil {
 			return err
 		}
@@ -253,7 +253,7 @@ func TestStoreLoadStruct(t *testing.T) {
 func TestRunReportsVirtualTimes(t *testing.T) {
 	n := newNode()
 	times, err := pmemcpy.Run(n, 3, func(c *pmemcpy.Comm) error {
-		p, err := pmemcpy.Mmap(c, n, "/times.pool", nil)
+		p, err := pmemcpy.Mmap(c, n, "/times.pool")
 		if err != nil {
 			return err
 		}
