@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async bench-check bench-async fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async cover bench-check bench-async fuzz bench clean
 
 all: tier1
 
@@ -21,7 +21,7 @@ tier1: build vet test
 
 # verify is the pre-merge checklist: the tier-1 gate, the race detector, the
 # fault-injection suite, the observability gates, and the integrity battery.
-verify: tier1 race faults obs obsdeps integrity async
+verify: tier1 race faults obs obsdeps integrity async cover
 
 # Integrity battery: checksum algebra, verified reads and quarantine, the
 # scrubber, the corruption differential (flavor C: ErrCorrupt or model bytes,
@@ -30,7 +30,7 @@ verify: tier1 race faults obs obsdeps integrity async
 integrity:
 	$(GO) test ./internal/checksum/
 	$(GO) test -run 'TestDeep' ./cmd/pmemfsck/
-	$(GO) test -race -timeout 20m -run 'TestVerify|TestScrub|TestQuarantine|TestParallelStoreCRC|TestDifferentialCorruption|TestConcurrentCompactVsParallelGather' ./internal/core/
+	$(GO) test -race -timeout 20m -run 'TestVerify|TestScrub|TestQuarantine|TestParallelStoreCRC|TestDifferentialCorruption|TestConcurrentCompactVsParallelGather|TestConcurrentMultiPoolStress' ./internal/core/
 
 # Async pipeline suite: the submission-queue unit tests and the -race queue
 # stress (TestAsyncQueueStress) in internal/core, the async crash-point
@@ -39,6 +39,19 @@ integrity:
 async:
 	$(GO) test -race -timeout 20m -run 'TestAsync|TestExploreAsync|TestCrashAsync|TestDifferentialAsync|TestCompactCancelled' ./internal/core/
 	$(GO) test -run 'TestErrorConformance' .
+
+# Coverage gate over the storage engine (internal/core) and the allocator /
+# pool-set layer (internal/pmdk): combined statement coverage must not drop
+# below the floor. The floor trails the current figure (~81%) by a few points
+# so refactors have headroom, but a change that lands a subsystem without
+# tests will trip it.
+COVER_FLOOR ?= 75.0
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/pmdk/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "combined statement coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage gate FAILED: $$total% < $(COVER_FLOOR)%"; exit 1; }
 
 # bench-check runs the E15 verified-read overhead experiment and fails when
 # the full-verify wall overhead exceeds its budget or any verify mode shifts

@@ -44,7 +44,7 @@ func main() {
 		vars      = flag.Int("vars", 10, "number of 3-D rectangles")
 		runs      = flag.Int("runs", 1, "repetitions to average (the paper: 3)")
 		verify    = flag.Bool("verify", false, "verify every byte read back")
-		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel | readparallel | obs | integrity | async")
+		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel | readparallel | obs | integrity | async | pools")
 		parallel  = flag.Int("parallel", 0, "per-rank copy workers for the pMEMCPY libraries (<=1: serial)")
 		readpar   = flag.Int("readparallel", 0, "per-rank gather workers for the pMEMCPY libraries (0: follow -parallel, 1: serial)")
 		pattern   = flag.String("pattern", "same", "read access pattern: same | restart | plane")
@@ -94,6 +94,8 @@ func main() {
 		results, err = runIntegrityAblation(rankCounts, base)
 	case *ablation == "async":
 		results, err = runAsyncAblation(rankCounts, base)
+	case *ablation == "pools":
+		results, err = runPoolsAblation(rankCounts, base)
 	case *ablation != "":
 		results, err = runAblation(*ablation, rankCounts, base)
 	default:

@@ -11,6 +11,7 @@
 //	pmemcli -dump rect0          # hexdump the start of a variable
 //	pmemcli -codec raw           # store with serialization disabled
 //	pmemcli -async -codec raw    # populate through the async group-commit queue
+//	pmemcli -pools 4             # shard the namespace over 4 member pools
 //	pmemcli stats                # observability metrics as Prometheus text
 //	pmemcli stats -trace t.json  # additionally dump the operation trace
 //	pmemcli scrub                # checksum-scrub every stored block
@@ -49,6 +50,7 @@ func main() {
 		readpar    = flag.Int("readparallel", 0, "per-rank gather workers for large loads (0: follow -parallel, 1: serial)")
 		async      = flag.Bool("async", false, "populate through the asynchronous submission queue (group commit)")
 		window     = flag.Int("window", 8, "async coalesce window (submissions per batch), with -async")
+		pools      = flag.Int("pools", 1, "shard the namespace over this many member pools (one PMEM device each)")
 	)
 	flag.Parse()
 
@@ -59,12 +61,13 @@ func main() {
 		fatal(fmt.Errorf("unknown layout %q", *layoutName))
 	}
 
-	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20)
+	n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 256<<20, pmemcpy.WithPMEMPools(*pools))
 	opts := []pmemcpy.MmapOption{
 		pmemcpy.WithLayout(layout),
 		pmemcpy.WithCodec(*codec),
 		pmemcpy.WithParallelism(*parallel),
 		pmemcpy.WithReadParallelism(*readpar),
+		pmemcpy.WithPools(*pools),
 	}
 	if *async {
 		opts = append(opts, pmemcpy.WithAsync(), pmemcpy.WithCoalesceWindow(*window))
@@ -148,6 +151,16 @@ func main() {
 			dims, derr := pmemcpy.LoadDims(p, k)
 			if derr == nil {
 				detail := fmt.Sprintf("dims=%v (+%s companion)", dims, pmemcpy.DimsSuffix)
+				if *pools > 1 {
+					spread := map[int]bool{}
+					if blocks, berr := p.BlockStatsOf(k); berr == nil {
+						for _, b := range blocks {
+							spread[b.Pool] = true
+						}
+					}
+					detail += fmt.Sprintf(" home=pool%d blocks-on=%d/%d pools",
+						p.HomePool(k), len(spread), p.Pools())
+				}
 				if layout == pmemcpy.LayoutHashtable {
 					// First MinMax per id builds the DRAM block index (a
 					// cache miss); the hit counter below shows repeats are
@@ -183,8 +196,8 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nPOOL STATS: keys=%d heap-used=%d B allocs=%d frees=%d txs=%d aborts=%d recovered=%d\n",
-			st.Keys, st.HeapUsed, st.Allocs, st.Frees, st.Transactions, st.Aborts, st.Recovered)
+		fmt.Printf("\nPOOL STATS: pools=%d keys=%d heap-used=%d B allocs=%d frees=%d txs=%d aborts=%d recovered=%d\n",
+			p.Pools(), st.Keys, st.HeapUsed, st.Allocs, st.Frees, st.Transactions, st.Aborts, st.Recovered)
 		fmt.Printf("CONCURRENCY: arenas=%d arena-steals=%d parallelism=%d parallel-stores=%d parallel-blocks=%d\n",
 			st.Arenas, st.ArenaSteals, st.Parallelism, st.ParallelStores, st.ParallelBlocks)
 		fmt.Printf("READ ENGINE: read-parallelism=%d parallel-reads=%d parallel-read-jobs=%d\n",

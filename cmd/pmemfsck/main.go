@@ -28,6 +28,8 @@
 //	pmemfsck -v              # report every crash point's outcome
 //	pmemfsck -fsck           # structural check of a clean pool
 //	pmemfsck -fsck -corrupt  # ...of a pool with a torn metadata record
+//	pmemfsck -fsck -pools 4  # ...of a 4-member pool set (cross-pool commit)
+//	pmemfsck -fsck -pools 4 -corrupt  # ...with one member's header smashed
 //	pmemfsck -deep           # checksum every stored block of a full store
 //	pmemfsck -deep -corrupt  # ...after silently damaging stored bytes
 package main
@@ -60,6 +62,7 @@ func run(args []string, w io.Writer) int {
 		check   = fs.Bool("fsck", false, "structural check mode: build a pool and verify its invariants")
 		deep    = fs.Bool("deep", false, "content check mode: build a store and verify every block checksum")
 		corrupt = fs.Bool("corrupt", false, "with -fsck/-deep: damage the pool before checking")
+		pools   = fs.Int("pools", 1, "with -fsck: check a pool set with this many members")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,6 +72,9 @@ func run(args []string, w io.Writer) int {
 		return runDeep(w, *corrupt)
 	}
 	if *check {
+		if *pools > 1 {
+			return runFsckSet(w, *pools, *corrupt)
+		}
 		return runFsck(w, *corrupt)
 	}
 
@@ -166,6 +172,69 @@ func runFsck(w io.Writer, corrupt bool) int {
 		fmt.Fprintf(w, "tore metadata record of \"var-3\"\n")
 	}
 	rep, err := fsck.Check(clk, mp)
+	if err != nil {
+		fmt.Fprintf(w, "pmemfsck: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(w, "%s\n", rep.Summary())
+	if !rep.OK() {
+		fmt.Fprintf(w, "first violated invariant: %s\n", rep.First())
+		return 1
+	}
+	return 0
+}
+
+// runFsckSet builds a published npools-member pool set (the cross-pool commit
+// protocol core.Mmap uses for a sharded namespace) and runs the set checker:
+// the publish record gates everything, and every member must carry a valid,
+// matching descriptor. With -corrupt one member's pool header is smashed —
+// under a published set that is a genuine violation, not a crash artifact.
+func runFsckSet(w io.Writer, npools int, corrupt bool) int {
+	machine := sim.NewMachine(sim.DefaultConfig())
+	machine.SetConcurrency(1)
+	clk := new(sim.Clock)
+	maps := make([]*pmem.Mapping, npools)
+	for i := range maps {
+		dev := pmem.New(machine, 4<<20)
+		mp, err := pmem.NewMapping(dev, 0, 4<<20, false)
+		if err != nil {
+			fmt.Fprintf(w, "pmemfsck: member %d: %v\n", i, err)
+			return 2
+		}
+		maps[i] = mp
+	}
+	_, err := pmdk.CreateSet(clk, 0x70736574, maps, nil, func(i int, p *pmdk.Pool) error {
+		tx, err := p.Begin(clk)
+		if err != nil {
+			return err
+		}
+		htID, err := pmdk.CreateHashtable(tx, 64)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		root, _ := p.Root()
+		if err := tx.WriteU64(root, uint64(htID)); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	})
+	if err != nil {
+		fmt.Fprintf(w, "pmemfsck: creating set: %v\n", err)
+		return 2
+	}
+	if corrupt {
+		victim := npools - 1
+		s, err := maps[victim].Slice(0, 8)
+		if err != nil {
+			fmt.Fprintf(w, "pmemfsck: %v\n", err)
+			return 2
+		}
+		s[0] ^= 0xff
+		fmt.Fprintf(w, "smashed pool header of set member %d\n", victim)
+	}
+	rep, err := fsck.CheckSet(clk, maps)
 	if err != nil {
 		fmt.Fprintf(w, "pmemfsck: %v\n", err)
 		return 2

@@ -28,6 +28,29 @@ func TestFsckTornMetadataRecord(t *testing.T) {
 	}
 }
 
+func TestFsckCleanSetExitsZero(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-fsck", "-pools", "4"}, &out); code != 0 {
+		t.Fatalf("exit %d on a clean set, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "set clean: 4 pools") {
+		t.Fatalf("output missing clean set summary:\n%s", out.String())
+	}
+}
+
+// TestFsckSmashedSetMember is the regression for the multi-pool corrupt path:
+// an invalid member under a published set must be reported as a set.member
+// violation with a nonzero exit.
+func TestFsckSmashedSetMember(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-fsck", "-pools", "4", "-corrupt"}, &out); code != 1 {
+		t.Fatalf("exit %d on a corrupt set (want 1), output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "first violated invariant: set.member") {
+		t.Fatalf("output does not name the violated set invariant:\n%s", out.String())
+	}
+}
+
 func TestUnknownModeExitsTwo(t *testing.T) {
 	var out strings.Builder
 	if code := run([]string{"-mode", "nonsense"}, &out); code != 2 {

@@ -19,10 +19,11 @@ func TestErrorConformance(t *testing.T) {
 	const bigElems = 96 * 1024 // 768 KB of float64: over the parallel threshold
 
 	cases := []struct {
-		name string
-		opts []pmemcpy.MmapOption
-		fn   func(p *pmemcpy.PMEM, n *pmemcpy.Node) error
-		want error
+		name  string
+		pools int // node devices and namespace members (0/1: single pool)
+		opts  []pmemcpy.MmapOption
+		fn    func(p *pmemcpy.PMEM, n *pmemcpy.Node) error
+		want  error
 	}{
 		{
 			name: "Load missing id",
@@ -299,6 +300,82 @@ func TestErrorConformance(t *testing.T) {
 			want: pmemcpy.ErrCorrupt,
 		},
 		{
+			// The sentinel must survive pool routing: a miss is a miss no
+			// matter which member the id hashes to.
+			name:  "multi-pool Load missing id",
+			pools: 4,
+			opts:  []pmemcpy.MmapOption{pmemcpy.WithPools(4)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				_, err := pmemcpy.Load[int64](p, "missing")
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name:  "multi-pool parallel StoreSub outside extent",
+			pools: 4,
+			opts:  []pmemcpy.MmapOption{pmemcpy.WithPools(4), pmemcpy.WithParallelism(4)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "big", bigElems); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				return pmemcpy.StoreSub(p, "big", make([]float64, bigElems), []uint64{1}, []uint64{bigElems})
+			},
+			want: pmemcpy.ErrOutOfBounds,
+		},
+		{
+			name:  "multi-pool Store media failure",
+			pools: 4,
+			opts:  []pmemcpy.MmapOption{pmemcpy.WithPools(4)},
+			fn: func(p *pmemcpy.PMEM, n *pmemcpy.Node) error {
+				// Arm every member device: the id routes to one pool, and the
+				// escalated persist failure must surface from whichever member
+				// it lands on.
+				for i := 0; i < 4; i++ {
+					n.DeviceAt(i).InjectTransient(0, 4)
+					defer n.DeviceAt(i).DisarmInjection()
+				}
+				return pmemcpy.Store(p, "scalar", int64(7))
+			},
+			want: pmemcpy.ErrMedia,
+		},
+		{
+			name:  "multi-pool async Store missing Alloc",
+			pools: 4,
+			opts:  []pmemcpy.MmapOption{pmemcpy.WithPools(4), pmemcpy.WithAsync()},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				fut := pmemcpy.StoreSubAsync(p, "missing", make([]float64, 4), []uint64{0}, []uint64{4})
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			// Corruption on a striped block must cross both the pool routing
+			// and the async completion boundary intact.
+			name:  "multi-pool async Load corrupt block",
+			pools: 4,
+			opts: []pmemcpy.MmapOption{
+				pmemcpy.WithPools(4),
+				pmemcpy.WithAsync(),
+				pmemcpy.WithVerifyReads(pmemcpy.VerifyFull),
+			},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := pmemcpy.StoreSub(p, "arr", make([]float64, 16), []uint64{0}, []uint64{16}); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if _, _, err := p.InjectCorruption("arr", 0, 8, 1, 0x04); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				dst := make([]float64, 16)
+				fut := pmemcpy.LoadSubAsync(p, "arr", dst, []uint64{0}, []uint64{16})
+				return fut.Wait(context.Background())
+			},
+			want: pmemcpy.ErrCorrupt,
+		},
+		{
 			name: "parallel gather coverage gap",
 			opts: []pmemcpy.MmapOption{pmemcpy.WithReadParallelism(4)},
 			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
@@ -319,7 +396,11 @@ func TestErrorConformance(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20)
+			var nopts []pmemcpy.NodeOption
+			if tc.pools > 1 {
+				nopts = append(nopts, pmemcpy.WithPMEMPools(tc.pools))
+			}
+			n := pmemcpy.NewNode(pmemcpy.DefaultConfig(), 64<<20, nopts...)
 			_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
 				p, err := pmemcpy.Mmap(c, n, "/conf.pool", tc.opts...)
 				if err != nil {

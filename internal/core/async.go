@@ -427,6 +427,7 @@ type asyncUnit struct {
 	counts []uint64
 	frags  []asyncFrag
 	encLen int64
+	pool   uint8 // member pool holding blk: the id's home pool
 	blk    pmdk.PMID
 	wrote  int64
 	crc    uint32
@@ -503,6 +504,7 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 			counts: append([]uint64(nil), op.counts...),
 			frags:  []asyncFrag{frag},
 			encLen: frag.encLen,
+			pool:   uint8(p.homeIdx(op.id)),
 		})
 	}
 
@@ -526,25 +528,40 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 		}
 	}
 
-	// 2. ONE transaction allocates every unit's block — the first of the
-	// three amortizations group commit buys over per-op stores.
-	tx, err := p.st.pool.Begin(clk)
-	if err != nil {
-		failAll(err)
-		return err
-	}
-	for _, u := range units {
-		blk, err := p.st.pool.Alloc(tx, u.encLen)
-		if err != nil {
-			tx.Abort()
-			failAll(err)
-			return err
+	// 2. ONE transaction per touched member pool allocates every unit's block
+	// — the first of the three amortizations group commit buys over per-op
+	// stores. On a sharded namespace the batch seals per pool: pools are
+	// visited in ascending order so the persist sequence stays deterministic
+	// for the crash explorer, and a crash between pool transactions leaves
+	// only unpublished allocations (recoverable garbage).
+	for pi := 0; pi < p.st.npools(); pi++ {
+		var tx *pmdk.Tx
+		for _, u := range units {
+			if int(u.pool) != pi {
+				continue
+			}
+			if tx == nil {
+				var err error
+				tx, err = p.st.poolAt(pi).Begin(clk)
+				if err != nil {
+					failAll(err)
+					return err
+				}
+			}
+			blk, err := p.st.poolAt(pi).Alloc(tx, u.encLen)
+			if err != nil {
+				tx.Abort()
+				failAll(err)
+				return err
+			}
+			u.blk = blk
 		}
-		u.blk = blk
-	}
-	if err := tx.Commit(); err != nil {
-		failAll(err)
-		return err
+		if tx != nil {
+			if err := tx.Commit(); err != nil {
+				failAll(err)
+				return err
+			}
+		}
 	}
 
 	// 3. Encode each unit directly into its mapped block and persist it with
@@ -555,12 +572,13 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 	// unpublished — recoverable garbage, like every post-commit failure path
 	// of the synchronous store.
 	for _, u := range units {
-		dst, err := p.st.pool.Slice(u.blk, u.encLen)
+		pool := p.poolOf(u.pool)
+		dst, err := pool.Slice(u.blk, u.encLen)
 		if err != nil {
 			failAll(err)
 			return err
 		}
-		if err := p.st.pool.Mapping().Capture(int64(u.blk), u.encLen); err != nil {
+		if err := pool.Mapping().Capture(int64(u.blk), u.encLen); err != nil {
 			failAll(err)
 			return err
 		}
@@ -581,12 +599,12 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 			off += int64(wrote)
 		}
 		u.wrote = off
-		p.chargeStoreBytes(u.wrote, encPasses)
+		p.chargeStoreBytes(int(u.pool), u.wrote, encPasses)
 		pt := ptAsyncPayload
 		if len(u.frags) > 1 {
 			pt = ptAsyncMerge
 		}
-		if err := p.st.pool.Mapping().Persist(clk, int64(u.blk), u.wrote, pt); err != nil {
+		if err := pool.Mapping().Persist(clk, int64(u.blk), u.wrote, pt); err != nil {
 			failAll(err)
 			return err
 		}
@@ -611,6 +629,7 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 				u := &g.units[i]
 				blocks = append(blocks, blockRec{
 					dtype:  g.dtype,
+					pool:   u.pool,
 					offs:   u.offs,
 					counts: u.counts,
 					data:   u.blk,

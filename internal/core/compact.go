@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-
-	"pmemcpy/internal/pmdk"
 )
 
 // Compact reclaims shadowed blocks of array id: StoreBlock appends, so
@@ -37,7 +35,6 @@ func (p *PMEM) compact(ctx context.Context, id string) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	clk := p.comm.Clock()
 	lock := p.varLock(id)
 	lock.Lock()
 	defer lock.Unlock()
@@ -84,25 +81,15 @@ func (p *PMEM) compact(ctx context.Context, id string) (int, error) {
 		return 0, err
 	}
 	p.invalidateCache(id)
-	tx, err := p.st.pool.Begin(clk)
-	if err != nil {
-		return 0, err
+	victimIDs := make([]poolPMID, len(victims))
+	for i, v := range victims {
+		victimIDs[i] = poolPMID{pool: v.pool, id: v.data}
 	}
-	for _, v := range victims {
-		if err := p.st.pool.Free(tx, v.data); err != nil {
-			tx.Abort()
-			return 0, err
-		}
-	}
-	if err := tx.Commit(); err != nil {
+	if err := p.freeBlocks(victimIDs); err != nil {
 		return 0, err
 	}
 	// Freed PMIDs may be reallocated to healthy blocks; dropping them from
 	// the quarantine keeps fail-fast reads from firing on reuse.
-	victimIDs := make([]pmdk.PMID, len(victims))
-	for i, v := range victims {
-		victimIDs[i] = v.data
-	}
 	p.unquarantine(victimIDs)
 	return len(victims), nil
 }

@@ -24,6 +24,7 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,8 @@ import (
 	"pmemcpy/internal/node"
 	"pmemcpy/internal/obs"
 	"pmemcpy/internal/pmdk"
+	"pmemcpy/internal/pmem"
+	"pmemcpy/internal/posixfs"
 	"pmemcpy/internal/serial"
 	"pmemcpy/internal/sim"
 )
@@ -124,6 +127,14 @@ type Options struct {
 	// pipeline's backpressure. 0 defaults to 8 coalesce windows; values
 	// below one window are raised to it.
 	MaxInflight int
+	// Pools stripes the namespace over this many independent pools, one per
+	// PMEM device of the node (which must have been built with that many
+	// devices). Ids are placed on a home pool by a deterministic hash and
+	// large parallel stores stripe their shards round-robin across all
+	// pools, so aggregate bandwidth scales with the pool count. Creation is
+	// crash-consistent under a cross-pool prepare/publish commit
+	// (pmdk.CreateSet). Hashtable layout only. 0 or 1 = single pool.
+	Pools int
 }
 
 // PMEM is the library handle, the analogue of pmemcpy::PMEM in Figure 2.
@@ -151,6 +162,12 @@ type shared struct {
 	pool    *pmdk.Pool
 	ht      *pmdk.Hashtable
 	hier    *hierStore
+	// pools/hts are the sharded namespace's member pools and their metadata
+	// hashtables (multi-pool handles only; pools[0] == pool, hts[0] == ht).
+	// Single-pool handles leave them nil and every pool index resolves to
+	// the one pool, so the routing helpers below are uniform.
+	pools []*pmdk.Pool
+	hts   []*pmdk.Hashtable
 	// varLocks maps id -> *sync.RWMutex. Writers hold the write lock across
 	// their metadata republish; readers hold the read lock only while
 	// reading persistent metadata on a cache miss (hits bypass it).
@@ -171,7 +188,7 @@ type shared struct {
 	verifyCtr atomic.Uint64
 	scrubRate int64
 	quarMu    sync.Mutex
-	quar      map[pmdk.PMID]struct{}
+	quar      map[poolPMID]struct{}
 	quarLen   atomic.Int64
 
 	// Async pipeline configuration (async.go), resolved by openShared so
@@ -255,6 +272,9 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		rpar = 1
 	}
 	if o.Layout == LayoutHierarchy {
+		if o.Pools > 1 {
+			return nil, fmt.Errorf("core: WithPools(%d) requires the hashtable layout", o.Pools)
+		}
 		if err := n.FS.MkdirAll(clk, path); err != nil {
 			return nil, err
 		}
@@ -268,12 +288,16 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 			ins:       newInstruments(o, n, nil),
 			verify:    o.VerifyReads,
 			scrubRate: o.ScrubRate,
-			quar:      make(map[pmdk.PMID]struct{}),
+			quar:      make(map[poolPMID]struct{}),
 		}
 		st.ins.bridgeCache(st.cache)
 		st.ins.bridgeQuarantine(st)
 		installTracer(o, n, st)
 		return st, nil
+	}
+
+	if o.Pools > 1 {
+		return openSharedMulti(c, n, path, o, par, rpar)
 	}
 
 	poolSize := o.PoolSize
@@ -368,6 +392,13 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 		verify:    o.VerifyReads,
 		scrubRate: o.ScrubRate,
 	}
+	return finishHashtableShared(st, o, n, clk)
+}
+
+// finishHashtableShared applies the configuration shared by the single- and
+// multi-pool hashtable paths: async pipeline resolution, the quarantine
+// fail-fast mirror, and the observability bridges.
+func finishHashtableShared(st *shared, o *Options, n *node.Node, clk *sim.Clock) (*shared, error) {
 	if o.Async {
 		window := o.CoalesceWindow
 		if window <= 0 {
@@ -396,6 +427,154 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 	return st, nil
 }
 
+// setID derives the cross-pool commit identifier from the namespace path, so
+// every rank and every reopen binds the same member pools together.
+func setID(path string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// openSharedMulti builds the node-wide state of a sharded namespace: one pool
+// (with its own hashtable) per PMEM device, created under the crash-consistent
+// prepare/publish protocol of pmdk.CreateSet. A reopen that finds the set
+// unpublished — creation crashed before the commit point — re-formats from
+// scratch: the namespace never existed, so no data can be lost.
+func openSharedMulti(c *mpi.Comm, n *node.Node, path string, o *Options, par, rpar int) (*shared, error) {
+	clk := c.Clock()
+	npools := o.Pools
+	if n.Pools() != npools {
+		return nil, fmt.Errorf("core: WithPools(%d) needs a node built with %d PMEM devices, have %d",
+			npools, npools, n.Pools())
+	}
+	buckets := o.Buckets
+	if buckets == 0 {
+		buckets = pmdk.DefaultBuckets
+	}
+	po := pmdk.DefaultOptions()
+	po.Arenas = 8
+	if par > po.Arenas {
+		po.Arenas = par
+	}
+	// initPool bootstraps one freshly formatted member: its metadata
+	// hashtable, published through the pool root. It runs under CreateSet's
+	// prepare phase, BEFORE the set publishes, so a crash mid-bootstrap
+	// leaves an unpublished set that the next open simply re-creates.
+	initPool := func(i int, pool *pmdk.Pool) error {
+		tx, err := pool.Begin(clk)
+		if err != nil {
+			return err
+		}
+		htID, err := pmdk.CreateHashtable(tx, buckets)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		root, _ := pool.Root()
+		if err := tx.WriteU64(root, uint64(htID)); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	openMaps := func(create bool) ([]*pmem.Mapping, error) {
+		maps := make([]*pmem.Mapping, npools)
+		for i := 0; i < npools; i++ {
+			fs := n.FSAt(i)
+			var f *posixfs.File
+			var err error
+			if create {
+				f, err = fs.Create(clk, path)
+				if err != nil {
+					return nil, err
+				}
+				poolSize := o.PoolSize
+				if poolSize == 0 {
+					poolSize = n.DeviceAt(i).Size() / 4 * 3
+				}
+				if err := f.Truncate(clk, poolSize); err != nil {
+					return nil, err
+				}
+			} else {
+				f, err = fs.Open(clk, path)
+				if err != nil {
+					return nil, err
+				}
+			}
+			m, err := f.Mmap(clk, o.MapSync)
+			if err != nil {
+				return nil, err
+			}
+			maps[i] = m
+		}
+		return maps, nil
+	}
+
+	_, statErr := n.FSAt(0).Stat(clk, path)
+	fresh := statErr != nil
+	var set *pmdk.PoolSet
+	var err error
+	if fresh {
+		maps, merr := openMaps(true)
+		if merr != nil {
+			return nil, merr
+		}
+		set, err = pmdk.CreateSet(clk, setID(path), maps, &po, initPool)
+	} else {
+		maps, merr := openMaps(false)
+		if merr != nil {
+			return nil, merr
+		}
+		set, err = pmdk.OpenSet(clk, maps)
+		if errors.Is(err, pmdk.ErrSetUnpublished) {
+			// Creation crashed before the publish record: the namespace never
+			// existed. Re-format every member in place.
+			set, err = pmdk.CreateSet(clk, setID(path), maps, &po, initPool)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pools := make([]*pmdk.Pool, npools)
+	hts := make([]*pmdk.Hashtable, npools)
+	for i := 0; i < npools; i++ {
+		pools[i] = set.Pool(i)
+		root, _ := pools[i].Root()
+		id, err := pools[i].ReadU64(clk, root)
+		if err != nil {
+			return nil, err
+		}
+		hts[i], err = pmdk.OpenHashtable(clk, pools[i], pmdk.PMID(id))
+		if err != nil {
+			return nil, fmt.Errorf("core: pool %d hashtable: %w", i, err)
+		}
+	}
+	st := &shared{
+		layout:    LayoutHashtable,
+		mapSync:   o.MapSync,
+		staged:    o.StagedSerialization,
+		par:       par,
+		rpar:      rpar,
+		pool:      pools[0],
+		ht:        hts[0],
+		pools:     pools,
+		hts:       hts,
+		cache:     newBlockCache(),
+		ins:       newInstruments(o, n, pools[0]),
+		verify:    o.VerifyReads,
+		scrubRate: o.ScrubRate,
+	}
+	return finishHashtableShared(st, o, n, clk)
+}
+
 // installTracer wires span tracing: the tracer becomes the device's event
 // sink, so every persist/fence is attributed to the op active on the issuing
 // rank's clock. The sink stays installed until another tracing handle group
@@ -406,7 +585,12 @@ func installTracer(o *Options, n *node.Node, st *shared) {
 	}
 	tr := obs.NewTracer(0)
 	st.ins.tracer = tr
-	n.Device.SetEventSink(tr)
+	// Every device of a multi-pool node feeds the same tracer: the pools
+	// share one fault domain and one persist-ordinal space, so their events
+	// interleave into one coherent span stream.
+	for i := 0; i < n.Pools(); i++ {
+		n.DeviceAt(i).SetEventSink(tr)
+	}
 }
 
 // Munmap closes the handle collectively. The rank's submission queue drains
@@ -438,14 +622,113 @@ func (p *PMEM) varLock(id string) *sync.RWMutex {
 	return l.(*sync.RWMutex)
 }
 
-// chargeStoreBytes accounts moving n encoded bytes into PMEM. On the
+// --- multi-pool placement ---
+
+// npools returns the number of member pools of the namespace (1 for
+// single-pool and hierarchy handles).
+func (st *shared) npools() int {
+	if len(st.pools) < 2 {
+		return 1
+	}
+	return len(st.pools)
+}
+
+// poolAt returns the i-th member pool (the one pool for single-pool handles,
+// whatever i).
+func (st *shared) poolAt(i int) *pmdk.Pool {
+	if len(st.pools) < 2 {
+		return st.pool
+	}
+	return st.pools[i]
+}
+
+// htAt returns the i-th member pool's metadata hashtable.
+func (st *shared) htAt(i int) *pmdk.Hashtable {
+	if len(st.hts) < 2 {
+		return st.ht
+	}
+	return st.hts[i]
+}
+
+// placementKey reduces an id to its placement key: the "#dims" companion
+// follows its base variable so a variable's metadata co-locates, and reserved
+// '#'-prefixed keys (the quarantine list) pin to pool 0.
+func placementKey(id string) string {
+	if n := len(id) - len(DimsSuffix); n > 0 && id[n:] == DimsSuffix {
+		id = id[:n]
+	}
+	return id
+}
+
+// homeIdx returns the id's home pool index: the member pool holding its
+// metadata entry and its serially stored data blocks. Deterministic FNV-1a
+// striping, so every rank and every reopen computes the same placement.
+func (st *shared) homeIdx(id string) int {
+	n := st.npools()
+	if n == 1 {
+		return 0
+	}
+	key := placementKey(id)
+	if len(key) > 0 && key[0] == '#' {
+		return 0
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return int(h % uint64(n))
+}
+
+// Pools returns the number of member pools backing this handle (1 for the
+// classic single-pool store and the hierarchy layout).
+func (p *PMEM) Pools() int { return p.st.npools() }
+
+// HomePool returns the member pool index the id's metadata and serially
+// stored payloads route to. Always 0 on a single-pool handle. The placement
+// is deterministic (FNV-1a over the id), so tools like pmemcli can report it
+// without touching the medium.
+func (p *PMEM) HomePool(id string) int { return p.st.homeIdx(id) }
+
+// homeIdx, homePool and homeHT are the handle-side routing shorthands.
+func (p *PMEM) homeIdx(id string) int          { return p.st.homeIdx(id) }
+func (p *PMEM) homePool(id string) *pmdk.Pool  { return p.st.poolAt(p.st.homeIdx(id)) }
+func (p *PMEM) poolOf(pi uint8) *pmdk.Pool     { return p.st.poolAt(int(pi)) }
+func (p *PMEM) homeHT(id string) *pmdk.Hashtable {
+	return p.st.htAt(p.st.homeIdx(id))
+}
+
+// writePort and readPort return the bandwidth port of the pi-th member
+// pool's device. Single-pool and hierarchy handles resolve to the machine's
+// default device ports, so every pre-existing cost is unchanged; each member
+// of a multi-pool namespace has its own dedicated port pair (one DIMM set per
+// pool), which is what makes striped aggregate bandwidth scale.
+func (p *PMEM) writePort(pi int) *sim.Pool {
+	if len(p.st.pools) > 1 {
+		return p.st.pools[pi].Mapping().Device().WritePort()
+	}
+	return p.node.Machine.PMEMWrite
+}
+
+func (p *PMEM) readPort(pi int) *sim.Pool {
+	if len(p.st.pools) > 1 {
+		return p.st.pools[pi].Mapping().Device().ReadPort()
+	}
+	return p.node.Machine.PMEMRead
+}
+
+// chargeStoreBytes accounts moving n encoded bytes into pool pi. On the
 // default direct path this is a single serialization pass streaming straight
 // into the mapping; under the staging ablation it is a DRAM encode pass
 // followed by a separate device copy — the double movement the paper's
 // design eliminates.
-func (p *PMEM) chargeStoreBytes(n int64, passes float64) {
+func (p *PMEM) chargeStoreBytes(pi int, n int64, passes float64) {
 	if !p.st.staged {
-		p.chargeDirectWrite(n, passes)
+		p.chargeDirectWrite(pi, n, passes)
 		return
 	}
 	m := p.node.Machine
@@ -453,24 +736,24 @@ func (p *PMEM) chargeStoreBytes(n int64, passes float64) {
 	clk := p.comm.Clock()
 	clk.Advance(sim.MoveCost(int64(float64(n)*passes), cfg.SerializeBPS,
 		m.Oversub(p.comm.Size()), m.DRAM))
-	p.st.pool.Mapping().ChargeWrite(clk, n)
+	p.st.poolAt(pi).Mapping().ChargeWrite(clk, n)
 }
 
 // chargeDirectWrite accounts a single serialization pass that streams bytes
-// straight into mapped PMEM: bounded by the per-core encode rate and the
-// device write port, plus the MAP_SYNC write-through penalty if enabled.
-// This single charge — instead of a DRAM pass followed by a device pass — is
-// the heart of the paper's claim.
+// straight into pool pi's mapped PMEM: bounded by the per-core encode rate
+// and the device write port, plus the MAP_SYNC write-through penalty if
+// enabled. This single charge — instead of a DRAM pass followed by a device
+// pass — is the heart of the paper's claim.
 //
 // Codec passes beyond the first (e.g. BP4's min/max characterization) only
 // re-read the source data in DRAM; they never touch the device, so their
 // cost is CPU/DRAM-bound and charged separately.
-func (p *PMEM) chargeDirectWrite(n int64, passes float64) {
+func (p *PMEM) chargeDirectWrite(pi int, n int64, passes float64) {
 	m := p.node.Machine
 	cfg := m.Config()
 	clk := p.comm.Clock()
 	clk.Advance(cfg.PMEMWriteLatency)
-	clk.Advance(sim.MoveCost(n, cfg.SerializeBPS, m.Oversub(p.comm.Size()), m.PMEMWrite))
+	clk.Advance(sim.MoveCost(n, cfg.SerializeBPS, m.Oversub(p.comm.Size()), p.writePort(pi)))
 	if passes > 1 {
 		extra := int64(float64(n) * (passes - 1))
 		clk.Advance(sim.MoveCost(extra, cfg.SerializeBPS, m.Oversub(p.comm.Size()), m.DRAM))
@@ -481,40 +764,80 @@ func (p *PMEM) chargeDirectWrite(n int64, passes float64) {
 	}
 }
 
-// chargeParallelStore accounts one parallel store: `workers` goroutines each
-// stream a shard of the n encoded bytes straight into mapped PMEM. The CPU
-// side scales with the worker count (discounted by the oversubscription of
-// ranks*workers total threads) and the device side by the pool's GroupShare —
-// several concurrent streams lift the single-thread PMEM write cap until the
-// rank's slice of the device bandwidth is saturated, the behaviour measured
-// by "Persistent Memory I/O Primitives". The MAP_SYNC write-through penalty
-// is paid per line but the lines are split across workers.
-func (p *PMEM) chargeParallelStore(n int64, passes float64, workers int) {
+// chargeParallelStore accounts one parallel store into pool pi: `workers`
+// goroutines each stream a shard of the n encoded bytes straight into mapped
+// PMEM. The CPU side scales with the worker count (discounted by the
+// oversubscription of ranks*workers total threads) and the device side by the
+// port's GroupShare — several concurrent streams lift the single-thread PMEM
+// write cap until the rank's slice of the device bandwidth is saturated, the
+// behaviour measured by "Persistent Memory I/O Primitives". The MAP_SYNC
+// write-through penalty is paid per line but the lines are split across
+// workers.
+func (p *PMEM) chargeParallelStore(pi int, n int64, passes float64, workers int) {
+	p.chargeStripedStore([]int64{n}, []int{pi}, passes, workers)
+}
+
+// chargeStripedStore accounts one parallel store striped over several pools:
+// perPool[i] encoded bytes stream into pool pis[i], with the worker pool
+// split across the stripes in proportion to their bytes. The pools' devices
+// operate concurrently, so virtual time advances by the SLOWEST stripe — not
+// the sum — which is exactly the aggregate-bandwidth win of a sharded
+// namespace (and why Advance-per-pool would model it away). Extra codec
+// passes and the MAP_SYNC per-line penalty are charged once over the total,
+// split across all workers.
+func (p *PMEM) chargeStripedStore(perPool []int64, pis []int, passes float64, workers int) {
 	m := p.node.Machine
 	cfg := m.Config()
 	clk := p.comm.Clock()
 	over := m.Oversub(p.comm.Size() * workers)
+	var total int64
+	for _, n := range perPool {
+		total += n
+	}
 	clk.Advance(cfg.PMEMWriteLatency)
-	clk.Advance(sim.MoveCostParallel(n, cfg.SerializeBPS, over, workers, m.PMEMWrite))
+	var slowest time.Duration
+	for i, n := range perPool {
+		w := stripeWorkers(workers, n, total, len(perPool))
+		d := sim.MoveCostParallel(n, cfg.SerializeBPS, over, w, p.writePort(pis[i]))
+		if d > slowest {
+			slowest = d
+		}
+	}
+	clk.Advance(slowest)
 	if passes > 1 {
-		extra := int64(float64(n) * (passes - 1))
+		extra := int64(float64(total) * (passes - 1))
 		clk.Advance(sim.MoveCostParallel(extra, cfg.SerializeBPS, over, workers, m.DRAM))
 	}
 	if p.st.mapSync {
-		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
+		lines := (total + sim.CachelineSize - 1) / sim.CachelineSize
 		perWorker := (lines + int64(workers) - 1) / int64(workers)
 		clk.Advance(time.Duration(perWorker) * cfg.MapSyncLine)
 	}
 }
 
+// stripeWorkers splits a worker pool across stripes proportionally to bytes:
+// a stripe carrying n of total bytes gets its share of the workers, at least
+// one. With one stripe it degenerates to the whole pool.
+func stripeWorkers(workers int, n, total int64, stripes int) int {
+	if stripes <= 1 || total <= 0 {
+		return workers
+	}
+	w := int(float64(workers) * float64(n) / float64(total))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // chargeDirectRead accounts a single deserialization pass streaming from
-// mapped PMEM into the destination buffer; extra codec passes stay in DRAM.
-func (p *PMEM) chargeDirectRead(n int64, passes float64) {
+// pool pi's mapped PMEM into the destination buffer; extra codec passes stay
+// in DRAM.
+func (p *PMEM) chargeDirectRead(pi int, n int64, passes float64) {
 	m := p.node.Machine
 	cfg := m.Config()
 	clk := p.comm.Clock()
 	clk.Advance(cfg.PMEMReadLatency)
-	clk.Advance(sim.MoveCost(n, cfg.DeserializeBPS, m.Oversub(p.comm.Size()), m.PMEMRead))
+	clk.Advance(sim.MoveCost(n, cfg.DeserializeBPS, m.Oversub(p.comm.Size()), p.readPort(pi)))
 	if passes > 1 {
 		extra := int64(float64(n) * (passes - 1))
 		clk.Advance(sim.MoveCost(extra, cfg.DeserializeBPS, m.Oversub(p.comm.Size()), m.DRAM))
@@ -525,27 +848,41 @@ func (p *PMEM) chargeDirectRead(n int64, passes float64) {
 	}
 }
 
-// chargeParallelRead accounts one parallel gather: `workers` goroutines each
-// stream a slice of the n encoded bytes out of mapped PMEM. The mirror image
-// of chargeParallelStore: CPU decode throughput scales with the worker count
-// (discounted by the oversubscription of ranks*workers threads) and the
-// device side by the read port's GroupShare — concurrent streams lift the
-// single-thread PMEM read cap until the rank's slice of the device read
-// bandwidth saturates. Extra codec passes stay in DRAM; the MAP_SYNC
-// per-line penalty is split across workers like the write side.
-func (p *PMEM) chargeParallelRead(n int64, passes float64, workers int) {
+// chargeParallelRead accounts one parallel gather out of pool pi: `workers`
+// goroutines each stream a slice of the n encoded bytes out of mapped PMEM.
+// The mirror image of chargeParallelStore.
+func (p *PMEM) chargeParallelRead(pi int, n int64, passes float64, workers int) {
+	p.chargeStripedRead([]int64{n}, []int{pi}, passes, workers)
+}
+
+// chargeStripedRead is the gather-side mirror of chargeStripedStore: per-pool
+// byte totals stream out of their devices concurrently and virtual time
+// advances by the slowest stripe.
+func (p *PMEM) chargeStripedRead(perPool []int64, pis []int, passes float64, workers int) {
 	m := p.node.Machine
 	cfg := m.Config()
 	clk := p.comm.Clock()
 	over := m.Oversub(p.comm.Size() * workers)
+	var total int64
+	for _, n := range perPool {
+		total += n
+	}
 	clk.Advance(cfg.PMEMReadLatency)
-	clk.Advance(sim.MoveCostParallel(n, cfg.DeserializeBPS, over, workers, m.PMEMRead))
+	var slowest time.Duration
+	for i, n := range perPool {
+		w := stripeWorkers(workers, n, total, len(perPool))
+		d := sim.MoveCostParallel(n, cfg.DeserializeBPS, over, w, p.readPort(pis[i]))
+		if d > slowest {
+			slowest = d
+		}
+	}
+	clk.Advance(slowest)
 	if passes > 1 {
-		extra := int64(float64(n) * (passes - 1))
+		extra := int64(float64(total) * (passes - 1))
 		clk.Advance(sim.MoveCostParallel(extra, cfg.DeserializeBPS, over, workers, m.DRAM))
 	}
 	if p.st.mapSync {
-		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
+		lines := (total + sim.CachelineSize - 1) / sim.CachelineSize
 		perWorker := (lines + int64(workers) - 1) / int64(workers)
 		clk.Advance(time.Duration(perWorker) * cfg.MapSyncLine)
 	}

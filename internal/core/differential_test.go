@@ -340,9 +340,15 @@ func applyDiffOp(p *core.PMEM, op diffOp, hier bool) error {
 
 // runDiff replays ops on every backend and the model, comparing all
 // observables after each op. It returns a divergence description ("" when
-// the backends agree everywhere) and an infrastructure error.
-func runDiff(ops []diffOp, backends []diffBackend, devSize int64) (string, error) {
-	n := node.New(sim.DefaultConfig(), devSize)
+// the backends agree everywhere) and an infrastructure error. nodePools > 1
+// provisions the shared node with that many PMEM devices (flavor E's sharded
+// backend needs them; single-pool backends use device 0 and are unaffected).
+func runDiff(ops []diffOp, backends []diffBackend, devSize int64, nodePools int) (string, error) {
+	var nopts []node.Option
+	if nodePools > 1 {
+		nopts = append(nopts, node.WithPMEMPools(nodePools))
+	}
+	n := node.New(sim.DefaultConfig(), devSize, nopts...)
 	n.Machine.SetConcurrency(1)
 	var diverged string
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
@@ -612,9 +618,17 @@ func shrinkOps(ops []diffOp, failing func([]diffOp) bool) []diffOp {
 func runDifferential(t *testing.T, seed int64, nOps int, shapes map[string][]uint64,
 	datumIDs []string, backends []diffBackend, devSize int64, corrupt bool) {
 	t.Helper()
+	runDifferentialPools(t, seed, nOps, shapes, datumIDs, backends, devSize, corrupt, 0)
+}
+
+// runDifferentialPools is runDifferential with an explicit node pool count
+// (flavor E: the sharded backend needs a multi-device node).
+func runDifferentialPools(t *testing.T, seed int64, nOps int, shapes map[string][]uint64,
+	datumIDs []string, backends []diffBackend, devSize int64, corrupt bool, nodePools int) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	ops := genDiffOps(rng, nOps, shapes, datumIDs, 1<<16, corrupt)
-	msg, err := runDiff(ops, backends, devSize)
+	msg, err := runDiff(ops, backends, devSize, nodePools)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
@@ -622,10 +636,10 @@ func runDifferential(t *testing.T, seed int64, nOps int, shapes map[string][]uin
 		return
 	}
 	min := shrinkOps(ops, func(cand []diffOp) bool {
-		m, err := runDiff(cand, backends, devSize)
+		m, err := runDiff(cand, backends, devSize, nodePools)
 		return err == nil && m != ""
 	})
-	minMsg, _ := runDiff(min, backends, devSize)
+	minMsg, _ := runDiff(min, backends, devSize, nodePools)
 	t.Fatalf("seed %d: backends diverged: %s\nminimal failing sequence (%d ops):\n%s(divergence: %s)",
 		seed, msg, len(min), fmtOps(min), minMsg)
 }
@@ -697,6 +711,58 @@ func TestDifferentialCorruption(t *testing.T) {
 	for _, seed := range []int64{2, 9, 55, 404, 2027} {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			runDifferential(t, seed, 60, shapes, []string{"s1"}, backends, 32<<20, true)
+		})
+	}
+}
+
+// TestDifferentialMultiPool (flavor E): a 4-pool sharded namespace — one
+// backend striping large stores across member pools with the 4-worker copy
+// engines, one routing every id to its home pool serially — must be
+// observationally identical to the classic single-pool store and the DRAM
+// model under random op sequences including Compact, Delete, and datum
+// churn. Placement is invisible to every observable; a divergence shrinks to
+// a minimal sequence like every other flavor.
+func TestDifferentialMultiPool(t *testing.T) {
+	shapes := map[string][]uint64{
+		"u": {32768},    // 256 KB full store: the parallel threshold, stripes across pools
+		"v": {160, 240}, // 300 KB full store, 2-D sharding
+		"w": {48},       // small: home-pool serial path
+	}
+	backends := []diffBackend{
+		{name: "multipool", path: "/mp.pool",
+			opts: &core.Options{PoolSize: 12 << 20, Pools: 4, Parallelism: 4, ReadParallelism: 4}, par: true},
+		{name: "multipool-serial", path: "/mps.pool",
+			opts: &core.Options{PoolSize: 12 << 20, Pools: 4}},
+		{name: "singlepool", path: "/sp.pool",
+			opts: &core.Options{PoolSize: 20 << 20}},
+	}
+	for _, seed := range []int64{5, 17, 303} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferentialPools(t, seed, 18, shapes, []string{"s1", "s2"}, backends, 64<<20, false, 4)
+		})
+	}
+}
+
+// TestDifferentialMultiPoolCorruption (flavor E + C): silent corruption
+// injected into blocks scattered across member pools, replayed against fully
+// verified multi-pool and single-pool backends. The integrity contract must
+// survive pool routing: ErrCorrupt or model bytes, never a wrong value, with
+// the pool-qualified quarantine containing damage on the right member pool.
+func TestDifferentialMultiPoolCorruption(t *testing.T) {
+	shapes := map[string][]uint64{
+		"u": {48},
+		"v": {6, 9},
+		"w": {512},
+	}
+	backends := []diffBackend{
+		{name: "verify-multipool", path: "/vmp.pool",
+			opts: &core.Options{PoolSize: 12 << 20, Pools: 4, VerifyReads: core.VerifyFull}},
+		{name: "verify-singlepool", path: "/vsp.pool",
+			opts: &core.Options{PoolSize: 16 << 20, VerifyReads: core.VerifyFull}},
+	}
+	for _, seed := range []int64{4, 21, 777} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferentialPools(t, seed, 60, shapes, []string{"s1"}, backends, 32<<20, true, 4)
 		})
 	}
 }

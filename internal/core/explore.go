@@ -171,11 +171,64 @@ func (s *Script) defaults() {
 	}
 }
 
-// newNode builds the deterministic simulation node every pass runs on.
+// newNode builds the deterministic simulation node every pass runs on. When
+// the script's Options ask for a sharded namespace, the node carries one
+// device per member pool; they share one fault domain, so persist ordinals,
+// tracing, and armed crashes span every pool in one coherent sequence.
 func (s *Script) newNode() *node.Node {
-	n := node.New(sim.DefaultConfig(), s.DevSize, node.WithDeviceOptions(pmem.WithCrashTracking()))
+	opts := []node.Option{node.WithDeviceOptions(pmem.WithCrashTracking())}
+	if s.Options != nil && s.Options.Pools > 1 {
+		opts = append(opts, node.WithPMEMPools(s.Options.Pools))
+	}
+	n := node.New(sim.DefaultConfig(), s.DevSize, opts...)
 	n.Machine.SetConcurrency(1)
 	return n
+}
+
+// checkStructure runs the structural checker on raw mappings of the pool
+// file(s), exactly as the pmemfsck CLI would: the single-pool fsck.Check for
+// one pool, the set-aware fsck.CheckSet (publish record, member descriptors,
+// then every member pool) for a sharded namespace.
+func (s *Script) checkStructure(n *node.Node) error {
+	clk := new(sim.Clock)
+	if s.Options == nil || s.Options.Pools <= 1 {
+		f, err := n.FS.Open(clk, s.Path)
+		if err != nil {
+			return fmt.Errorf("reopening pool file: %w", err)
+		}
+		m, err := f.Mmap(clk, false)
+		if err != nil {
+			return err
+		}
+		rep, err := fsck.Check(clk, m)
+		if err != nil {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		if !rep.OK() {
+			return fmt.Errorf("fsck: %s", rep.Summary())
+		}
+		return nil
+	}
+	maps := make([]*pmem.Mapping, n.Pools())
+	for i := 0; i < n.Pools(); i++ {
+		f, err := n.FSAt(i).Open(clk, s.Path)
+		if err != nil {
+			return fmt.Errorf("reopening pool file %d: %w", i, err)
+		}
+		m, err := f.Mmap(clk, false)
+		if err != nil {
+			return err
+		}
+		maps[i] = m
+	}
+	rep, err := fsck.CheckSet(clk, maps)
+	if err != nil {
+		return fmt.Errorf("fsck set: %w", err)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("fsck set: %s", rep.Summary())
+	}
+	return nil
 }
 
 // TraceScript runs the script once with tracing enabled (no faults) and
@@ -268,25 +321,12 @@ func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *r
 	if err != nil {
 		return out, err
 	}
-	n.Device.Crash(mode, rng)
+	n.CrashAll(mode, rng)
 
-	// Power is back. First the structural checker, on a raw mapping of the
-	// pool file, exactly as the pmemfsck CLI would run it.
-	clk := new(sim.Clock)
-	f, err := n.FS.Open(clk, s.Path)
-	if err != nil {
-		return out, fmt.Errorf("reopening pool file: %w", err)
-	}
-	m, err := f.Mmap(clk, false)
-	if err != nil {
+	// Power is back. First the structural checker, on raw mappings of the
+	// pool file(s), exactly as the pmemfsck CLI would run it.
+	if err := s.checkStructure(n); err != nil {
 		return out, err
-	}
-	rep, err := fsck.Check(clk, m)
-	if err != nil {
-		return out, fmt.Errorf("fsck: %w", err)
-	}
-	if !rep.OK() {
-		return out, fmt.Errorf("fsck: %s", rep.Summary())
 	}
 
 	// Then the full store on a fresh handle group (empty DRAM cache), with a

@@ -29,11 +29,29 @@ func FuzzDecodeBlockList(f *testing.F) {
 		data:   8192,
 		encLen: 8,
 	}}))
+	// Pooled form: any nonzero pool index flips the encoder to the pooled
+	// tag, which carries a member index per record.
+	f.Add(encodeBlockList([]blockRec{{
+		dtype:  serial.Float64,
+		offs:   []uint64{0},
+		counts: []uint64{64},
+		data:   4096,
+		encLen: 512,
+		pool:   3,
+	}, {
+		dtype:  serial.Float64,
+		offs:   []uint64{64},
+		counts: []uint64{64},
+		data:   8192,
+		encLen: 512,
+	}}))
 	// A count field the buffer cannot possibly hold: must error out instead
 	// of sizing a four-billion-record allocation.
 	f.Add([]byte{blockListTag, 0xff, 0xff, 0xff, 0xff})
 	// Impossible rank.
 	f.Add([]byte{blockListTag, 1, 0, 0, 0, byte(serial.Float64), 0xff})
+	// Pooled tag with a truncated member index.
+	f.Add([]byte{blockListPooledTag, 1, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		blocks, err := decodeBlockList(raw)
 		if err != nil {

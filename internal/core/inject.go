@@ -39,8 +39,9 @@ func (p *PMEM) InjectCorruption(id string, block int, off, n int64, mask byte) (
 	}
 	var blk pmdk.PMID
 	var encLen int64
+	var pool uint8
 	switch {
-	case len(raw) > 0 && raw[0] == blockListTag:
+	case len(raw) > 0 && isBlockListTag(raw[0]):
 		blocks, err := decodeBlockList(raw)
 		if err != nil {
 			return 0, 0, err
@@ -48,7 +49,7 @@ func (p *PMEM) InjectCorruption(id string, block int, off, n int64, mask byte) (
 		if block < 0 || block >= len(blocks) {
 			return 0, 0, fmt.Errorf("core: id %q has %d blocks, asked to corrupt %d", id, len(blocks), block)
 		}
-		blk, encLen = blocks[block].data, blocks[block].encLen
+		blk, encLen, pool = blocks[block].data, blocks[block].encLen, blocks[block].pool
 	case len(raw) == valueRefLen && raw[0] == valueRefTag:
 		if block >= 0 {
 			return 0, 0, fmt.Errorf("core: id %q is a whole value; use block -1", id)
@@ -57,6 +58,7 @@ func (p *PMEM) InjectCorruption(id string, block int, off, n int64, mask byte) (
 		if err != nil {
 			return 0, 0, err
 		}
+		pool = uint8(p.homeIdx(id))
 	default:
 		return 0, 0, fmt.Errorf("core: id %q holds no corruptible block reference", id)
 	}
@@ -67,7 +69,7 @@ func (p *PMEM) InjectCorruption(id string, block int, off, n int64, mask byte) (
 	if n <= 0 || off+n > encLen {
 		n = encLen - off
 	}
-	src, err := p.st.pool.Slice(blk, encLen)
+	src, err := p.poolOf(pool).Slice(blk, encLen)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -115,21 +115,22 @@ func (p *PMEM) verifySlice(id string, blk pmdk.PMID, src []byte, want uint32) er
 // the id's read lock, so no block can be freed mid-check.
 func (p *PMEM) precheckJobs(id string, jobs []copyJob) error {
 	verify := p.shouldVerify()
-	seen := make(map[pmdk.PMID]bool, len(jobs))
+	seen := make(map[poolPMID]bool, len(jobs))
 	for _, job := range jobs {
 		b := job.src
-		if seen[b.data] {
+		key := poolPMID{pool: b.pool, id: b.data}
+		if seen[key] {
 			continue
 		}
-		seen[b.data] = true
-		if p.isQuarantined(b.data) {
+		seen[key] = true
+		if p.isQuarantined(b.pool, b.data) {
 			return fmt.Errorf("core: id %q block at pool offset %d is quarantined: %w",
 				id, int64(b.data), ErrCorrupt)
 		}
 		if !verify {
 			continue
 		}
-		src, err := p.st.pool.Slice(b.data, b.encLen)
+		src, err := p.poolOf(b.pool).Slice(b.data, b.encLen)
 		if err != nil {
 			return err
 		}
@@ -142,27 +143,65 @@ func (p *PMEM) precheckJobs(id string, jobs []copyJob) error {
 
 // --- quarantine ---
 
-func encodeQuarantine(ids []pmdk.PMID) []byte {
-	buf := make([]byte, 5+8*len(ids))
-	buf[0] = quarantineTag
+// poolPMID is a fully qualified block address on a sharded namespace: PMIDs
+// are pool-relative offsets, so blocks from different member pools can carry
+// the same PMID and the quarantine must key on the pair.
+type poolPMID struct {
+	pool uint8
+	id   pmdk.PMID
+}
+
+// encodeQuarantine writes the persistent quarantine list. Like block lists,
+// the encoding is content-driven: the pooled form (9-byte entries with a pool
+// prefix) is used exactly when an entry lives outside pool 0, so single-pool
+// stores keep their legacy 8-byte-entry records.
+func encodeQuarantine(ids []poolPMID) []byte {
+	pooled := false
+	for _, id := range ids {
+		if id.pool != 0 {
+			pooled = true
+			break
+		}
+	}
+	if !pooled {
+		buf := make([]byte, 5+8*len(ids))
+		buf[0] = quarantineTag
+		binary.LittleEndian.PutUint32(buf[1:], uint32(len(ids)))
+		for i, id := range ids {
+			binary.LittleEndian.PutUint64(buf[5+8*i:], uint64(id.id))
+		}
+		return buf
+	}
+	buf := make([]byte, 5+9*len(ids))
+	buf[0] = quarantinePooledTag
 	binary.LittleEndian.PutUint32(buf[1:], uint32(len(ids)))
 	for i, id := range ids {
-		binary.LittleEndian.PutUint64(buf[5+8*i:], uint64(id))
+		buf[5+9*i] = id.pool
+		binary.LittleEndian.PutUint64(buf[5+9*i+1:], uint64(id.id))
 	}
 	return buf
 }
 
-func decodeQuarantine(raw []byte) ([]pmdk.PMID, error) {
-	if len(raw) < 5 || raw[0] != quarantineTag {
+func decodeQuarantine(raw []byte) ([]poolPMID, error) {
+	if len(raw) < 5 || (raw[0] != quarantineTag && raw[0] != quarantinePooledTag) {
 		return nil, fmt.Errorf("core: not a quarantine record")
 	}
+	entry := 8
+	if raw[0] == quarantinePooledTag {
+		entry = 9
+	}
 	n := binary.LittleEndian.Uint32(raw[1:])
-	if int64(n) > int64(len(raw)-5)/8 {
+	if int64(n) > int64(len(raw)-5)/int64(entry) {
 		return nil, fmt.Errorf("core: quarantine record truncated")
 	}
-	out := make([]pmdk.PMID, n)
+	out := make([]poolPMID, n)
 	for i := range out {
-		out[i] = pmdk.PMID(binary.LittleEndian.Uint64(raw[5+8*i:]))
+		pos := 5 + entry*i
+		if entry == 9 {
+			out[i].pool = raw[pos]
+			pos++
+		}
+		out[i].id = pmdk.PMID(binary.LittleEndian.Uint64(raw[pos:]))
 	}
 	return out, nil
 }
@@ -170,7 +209,7 @@ func decodeQuarantine(raw []byte) ([]pmdk.PMID, error) {
 // loadQuarantine populates the DRAM mirror of the persistent quarantine list
 // at open time, so fail-fast reads work from the first op after a reopen.
 func (st *shared) loadQuarantine(clk *sim.Clock) error {
-	st.quar = make(map[pmdk.PMID]struct{})
+	st.quar = make(map[poolPMID]struct{})
 	if st.ht == nil {
 		return nil
 	}
@@ -189,33 +228,40 @@ func (st *shared) loadQuarantine(clk *sim.Clock) error {
 	return nil
 }
 
-// isQuarantined reports whether blk is on the quarantine list. The common
-// case — nothing quarantined — is a single atomic load, keeping the check
-// invisible on hot read paths.
-func (p *PMEM) isQuarantined(blk pmdk.PMID) bool {
+// isQuarantined reports whether (pool, blk) is on the quarantine list. The
+// common case — nothing quarantined — is a single atomic load, keeping the
+// check invisible on hot read paths.
+func (p *PMEM) isQuarantined(pool uint8, blk pmdk.PMID) bool {
 	st := p.st
 	if st.quarLen.Load() == 0 {
 		return false
 	}
 	st.quarMu.Lock()
-	_, ok := st.quar[blk]
+	_, ok := st.quar[poolPMID{pool: pool, id: blk}]
 	st.quarMu.Unlock()
 	return ok
 }
 
-// quarSnapshot returns the quarantined PMIDs sorted, for a deterministic
-// persistent encoding. Caller holds quarMu.
-func quarSnapshot(st *shared) []pmdk.PMID {
-	ids := make([]pmdk.PMID, 0, len(st.quar))
+// quarSnapshot returns the quarantined addresses sorted by (pool, offset),
+// for a deterministic persistent encoding. Caller holds quarMu.
+func quarSnapshot(st *shared) []poolPMID {
+	ids := make([]poolPMID, 0, len(st.quar))
 	for id := range st.quar {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].pool != ids[b].pool {
+			return ids[a].pool < ids[b].pool
+		}
+		return ids[a].id < ids[b].id
+	})
 	return ids
 }
 
 // quarantineBlocks adds blks to the quarantine and persists the updated list.
-func (p *PMEM) quarantineBlocks(blks []pmdk.PMID) error {
+// The list always lives in pool 0's hashtable, even on a sharded namespace:
+// '#'-prefixed reserved keys route there by construction.
+func (p *PMEM) quarantineBlocks(blks []poolPMID) error {
 	st := p.st
 	st.quarMu.Lock()
 	changed := false
@@ -239,7 +285,7 @@ func (p *PMEM) quarantineBlocks(blks []pmdk.PMID) error {
 // on the persistence side — the caller already committed the free, and a
 // stale persistent entry can only cause a spurious fail-fast after reopen,
 // never a silent wrong read.
-func (p *PMEM) unquarantine(blks []pmdk.PMID) {
+func (p *PMEM) unquarantine(blks []poolPMID) {
 	st := p.st
 	if st.quarLen.Load() == 0 {
 		return
@@ -266,7 +312,9 @@ func (p *PMEM) unquarantine(blks []pmdk.PMID) {
 	_ = st.ht.Put(clk, []byte(quarantineKey), encodeQuarantine(ids))
 }
 
-// Quarantined returns the currently quarantined pool offsets, sorted.
+// Quarantined returns the currently quarantined pool offsets, sorted by
+// (pool, offset). Offsets are pool-relative; on a single-pool store the slice
+// is exactly the legacy flat offset list.
 func (p *PMEM) Quarantined() []int64 {
 	st := p.st
 	st.quarMu.Lock()
@@ -274,7 +322,7 @@ func (p *PMEM) Quarantined() []int64 {
 	st.quarMu.Unlock()
 	out := make([]int64, len(ids))
 	for i, id := range ids {
-		out[i] = int64(id)
+		out[i] = int64(id.id)
 	}
 	return out
 }
@@ -369,7 +417,7 @@ func (p *PMEM) Scrub(ctx context.Context) (ScrubReport, error) {
 // PMIDs of newly found corrupt blocks (already-quarantined blocks are
 // skipped). The lock is released before the caller quarantines, since
 // quarantineBlocks persists through the shared hashtable.
-func (p *PMEM) scrubVar(ctx context.Context, id string, rep *ScrubReport, pace *scrubPacer) ([]pmdk.PMID, error) {
+func (p *PMEM) scrubVar(ctx context.Context, id string, rep *ScrubReport, pace *scrubPacer) ([]poolPMID, error) {
 	lock := p.varLock(id)
 	lock.RLock()
 	defer lock.RUnlock()
@@ -377,37 +425,37 @@ func (p *PMEM) scrubVar(ctx context.Context, id string, rep *ScrubReport, pace *
 	if err != nil || !ok {
 		return nil, err // deleted since Keys(): not an error
 	}
-	var bad []pmdk.PMID
-	check := func(blk pmdk.PMID, encLen int64, want uint32) error {
+	var bad []poolPMID
+	check := func(pool uint8, blk pmdk.PMID, encLen int64, want uint32) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if p.isQuarantined(blk) {
+		if p.isQuarantined(pool, blk) {
 			return nil
 		}
-		src, err := p.st.pool.Slice(blk, encLen)
+		src, err := p.poolOf(pool).Slice(blk, encLen)
 		if err != nil {
 			return err
 		}
-		p.chargeScrub(encLen, pace)
+		p.chargeScrub(int(pool), encLen, pace)
 		rep.Blocks++
 		rep.Bytes += encLen
 		p.st.ins.scrubBlocks.Inc()
 		if checksum.Sum(src) != want {
 			rep.Corruptions++
 			p.st.ins.scrubCorrupt.Inc()
-			bad = append(bad, blk)
+			bad = append(bad, poolPMID{pool: pool, id: blk})
 		}
 		return nil
 	}
 	switch {
-	case len(raw) > 0 && raw[0] == blockListTag:
+	case len(raw) > 0 && isBlockListTag(raw[0]):
 		blocks, err := decodeBlockList(raw)
 		if err != nil {
 			return nil, err
 		}
 		for _, b := range blocks {
-			if err := check(b.data, b.encLen, b.crc); err != nil {
+			if err := check(b.pool, b.data, b.encLen, b.crc); err != nil {
 				return bad, err
 			}
 		}
@@ -416,7 +464,7 @@ func (p *PMEM) scrubVar(ctx context.Context, id string, rep *ScrubReport, pace *
 		if err != nil {
 			return nil, err
 		}
-		if err := check(blk, n, crc); err != nil {
+		if err := check(uint8(p.homeIdx(id)), blk, n, crc); err != nil {
 			return bad, err
 		}
 	}
@@ -430,10 +478,11 @@ type scrubPacer struct {
 }
 
 // chargeScrub accounts one scrubbed block: the device read cost of streaming
-// its bytes, then — when a rate limit is configured — enough extra virtual
-// time to hold the pass at or under scrubRate bytes per virtual second.
-func (p *PMEM) chargeScrub(n int64, pace *scrubPacer) {
-	p.chargeDirectRead(n, 1)
+// its bytes from its member pool, then — when a rate limit is configured —
+// enough extra virtual time to hold the pass at or under scrubRate bytes per
+// virtual second.
+func (p *PMEM) chargeScrub(pi int, n int64, pace *scrubPacer) {
+	p.chargeDirectRead(pi, n, 1)
 	rate := p.st.scrubRate
 	if rate <= 0 {
 		return
@@ -485,8 +534,8 @@ func (p *PMEM) deepCheckVar(id string, rep *fsck.DeepReport) error {
 	if err != nil || !ok {
 		return err
 	}
-	check := func(idx int, blk pmdk.PMID, encLen int64, want uint32) error {
-		src, err := p.st.pool.Slice(blk, encLen)
+	check := func(idx int, pool uint8, blk pmdk.PMID, encLen int64, want uint32) error {
+		src, err := p.poolOf(pool).Slice(blk, encLen)
 		if err != nil {
 			return err
 		}
@@ -500,13 +549,13 @@ func (p *PMEM) deepCheckVar(id string, rep *fsck.DeepReport) error {
 		return nil
 	}
 	switch {
-	case len(raw) > 0 && raw[0] == blockListTag:
+	case len(raw) > 0 && isBlockListTag(raw[0]):
 		blocks, err := decodeBlockList(raw)
 		if err != nil {
 			return err
 		}
 		for i, b := range blocks {
-			if err := check(i, b.data, b.encLen, b.crc); err != nil {
+			if err := check(i, b.pool, b.data, b.encLen, b.crc); err != nil {
 				return err
 			}
 		}
@@ -515,7 +564,7 @@ func (p *PMEM) deepCheckVar(id string, rep *fsck.DeepReport) error {
 		if err != nil {
 			return err
 		}
-		return check(-1, blk, n, crc)
+		return check(-1, uint8(p.homeIdx(id)), blk, n, crc)
 	}
 	return nil
 }
@@ -534,25 +583,25 @@ func (p *PMEM) VerifyVar(id string) error {
 	if !ok {
 		return fmt.Errorf("core: id %q: %w", id, ErrNotFound)
 	}
-	check := func(blk pmdk.PMID, encLen int64, want uint32) error {
-		if p.isQuarantined(blk) {
+	check := func(pool uint8, blk pmdk.PMID, encLen int64, want uint32) error {
+		if p.isQuarantined(pool, blk) {
 			return fmt.Errorf("core: id %q block at pool offset %d is quarantined: %w",
 				id, int64(blk), ErrCorrupt)
 		}
-		src, err := p.st.pool.Slice(blk, encLen)
+		src, err := p.poolOf(pool).Slice(blk, encLen)
 		if err != nil {
 			return err
 		}
 		return p.verifySlice(id, blk, src, want)
 	}
 	switch {
-	case len(raw) > 0 && raw[0] == blockListTag:
+	case len(raw) > 0 && isBlockListTag(raw[0]):
 		blocks, err := decodeBlockList(raw)
 		if err != nil {
 			return err
 		}
 		for _, b := range blocks {
-			if err := check(b.data, b.encLen, b.crc); err != nil {
+			if err := check(b.pool, b.data, b.encLen, b.crc); err != nil {
 				return err
 			}
 		}
@@ -561,7 +610,7 @@ func (p *PMEM) VerifyVar(id string) error {
 		if err != nil {
 			return err
 		}
-		return check(blk, n, crc)
+		return check(uint8(p.homeIdx(id)), blk, n, crc)
 	}
 	return nil
 }

@@ -22,6 +22,9 @@ type Library struct {
 	Layout Layout
 	// PoolSize overrides the pool file size (0 = 3/4 of the device).
 	PoolSize int64
+	// Pools shards the namespace across n member pools (<=1: single pool).
+	// The node must carry matching devices (node.WithPMEMPools).
+	Pools int
 	// Staged enables the staging ablation (serialize to DRAM, then copy).
 	Staged bool
 	// Parallelism is the per-rank copy-engine worker count (<=1: serial).
@@ -62,6 +65,7 @@ func (l Library) options() *Options {
 		Layout:              l.Layout,
 		MapSync:             l.MapSync,
 		PoolSize:            l.PoolSize,
+		Pools:               l.Pools,
 		StagedSerialization: l.Staged,
 		Parallelism:         l.Parallelism,
 		ReadParallelism:     l.ReadParallelism,
@@ -73,6 +77,12 @@ func (l Library) options() *Options {
 		CoalesceWindow:      l.CoalesceWindow,
 		MaxInflight:         l.MaxInflight,
 	}
+}
+
+// WithPools implements pio.Poolable.
+func (l Library) WithPools(n int) pio.Library {
+	l.Pools = n
+	return l
 }
 
 // WithParallelism implements pio.Parallelizable.
@@ -181,6 +191,7 @@ var (
 	_ pio.Instrumentable     = Library{}
 	_ pio.Verifiable         = Library{}
 	_ pio.Asyncable          = Library{}
+	_ pio.Poolable           = Library{}
 )
 
 // Handle returns the underlying PMEM for callers that need the full API.

@@ -55,18 +55,23 @@ func (p *PMEM) Stats() (StoreStats, error) {
 	if p.st.layout != LayoutHashtable {
 		return st, nil
 	}
-	used, err := p.st.pool.HeapUsed(p.comm.Clock())
-	if err != nil {
-		return StoreStats{}, err
+	// On a sharded namespace, heap and transaction statistics aggregate over
+	// every member pool.
+	for pi := 0; pi < p.st.npools(); pi++ {
+		pool := p.st.poolAt(pi)
+		used, err := pool.HeapUsed(p.comm.Clock())
+		if err != nil {
+			return StoreStats{}, err
+		}
+		ps := pool.Stats()
+		st.HeapUsed += used
+		st.Allocs += ps.Allocs
+		st.Frees += ps.Frees
+		st.Transactions += ps.Transactions
+		st.Aborts += ps.Aborts
+		st.Recovered += ps.Recovered
+		st.Arenas += pool.Arenas()
+		st.ArenaSteals += ps.ArenaSteals
 	}
-	ps := p.st.pool.Stats()
-	st.HeapUsed = used
-	st.Allocs = ps.Allocs
-	st.Frees = ps.Frees
-	st.Transactions = ps.Transactions
-	st.Aborts = ps.Aborts
-	st.Recovered = ps.Recovered
-	st.Arenas = p.st.pool.Arenas()
-	st.ArenaSteals = ps.ArenaSteals
 	return st, nil
 }

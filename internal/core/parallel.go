@@ -81,30 +81,52 @@ func (p *PMEM) parallelEligible(counts []uint64, encSize int64) bool {
 }
 
 // storeBlockParallel is StoreBlock's sharded write path. It returns the total
-// encoded bytes written.
+// encoded bytes written. On a sharded namespace the shards stripe round-robin
+// across the member pools starting at the id's home pool, so one large store
+// drives every device concurrently — the aggregate-bandwidth win E17 sweeps.
 func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint64, d *serial.Datum) (int64, error) {
 	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	shards := splitShards(d, offs, counts, p.st.par)
+	npools := p.st.npools()
+	home := p.homeIdx(id)
+	pools := make([]uint8, len(shards))
 	for i := range shards {
 		shards[i].encLen = int64(p.codec.EncodedSize(&shards[i].datum))
+		pools[i] = uint8((home + i) % npools)
 	}
 
-	// 1. One batched transaction allocates every shard's block.
-	tx, err := p.st.pool.Begin(clk)
-	if err != nil {
-		return 0, err
-	}
-	for i := range shards {
-		blk, err := p.st.pool.Alloc(tx, shards[i].encLen)
-		if err != nil {
-			tx.Abort()
-			return 0, err
+	// 1. One batched transaction per touched pool allocates the shards'
+	// blocks, in ascending pool order so the persist sequence is
+	// deterministic for the crash explorer. A crash between pool
+	// transactions leaves some allocations committed and none published —
+	// recoverable garbage, exactly like the single-pool path's post-commit
+	// window, never a torn block list.
+	for pi := 0; pi < npools; pi++ {
+		var tx *pmdk.Tx
+		for i := range shards {
+			if int(pools[i]) != pi {
+				continue
+			}
+			if tx == nil {
+				var err error
+				tx, err = p.st.poolAt(pi).Begin(clk)
+				if err != nil {
+					return 0, err
+				}
+			}
+			blk, err := p.st.poolAt(pi).Alloc(tx, shards[i].encLen)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			shards[i].blk = blk
 		}
-		shards[i].blk = blk
-	}
-	if err := tx.Commit(); err != nil {
-		return 0, err
+		if tx != nil {
+			if err := tx.Commit(); err != nil {
+				return 0, err
+			}
+		}
 	}
 
 	// 2. Capture every destination range up front (the crash simulator's
@@ -114,11 +136,12 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	// point lands before or after the whole copy wave deterministically.
 	dsts := make([][]byte, len(shards))
 	for i := range shards {
-		dst, err := p.st.pool.Slice(shards[i].blk, shards[i].encLen)
+		pool := p.poolOf(pools[i])
+		dst, err := pool.Slice(shards[i].blk, shards[i].encLen)
 		if err != nil {
 			return 0, err
 		}
-		if err := p.st.pool.Mapping().Capture(int64(shards[i].blk), shards[i].encLen); err != nil {
+		if err := pool.Mapping().Capture(int64(shards[i].blk), shards[i].encLen); err != nil {
 			return 0, err
 		}
 		dsts[i] = dst
@@ -156,9 +179,25 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 			in.shardBytes.Observe(shards[i].wrote)
 		}
 	}
-	p.chargeParallelStore(total, encPasses, len(shards))
+	// Charge the striped cost: per-pool byte totals stream concurrently, so
+	// virtual time advances by the slowest stripe, not the sum.
+	perPool := make([]int64, 0, npools)
+	pis := make([]int, 0, npools)
+	for pi := 0; pi < npools; pi++ {
+		var n int64
+		for i := range shards {
+			if int(pools[i]) == pi {
+				n += shards[i].wrote
+			}
+		}
+		if n > 0 {
+			perPool = append(perPool, n)
+			pis = append(pis, pi)
+		}
+	}
+	p.chargeStripedStore(perPool, pis, encPasses, len(shards))
 	for i := range shards {
-		if err := p.st.pool.Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote, ptBlockShard); err != nil {
+		if err := p.poolOf(pools[i]).Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote, ptBlockShard); err != nil {
 			return 0, err
 		}
 	}
@@ -175,6 +214,7 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 	for i := range shards {
 		blocks = append(blocks, blockRec{
 			dtype:  rec.dtype,
+			pool:   pools[i],
 			offs:   shards[i].offs,
 			counts: shards[i].datum.Dims,
 			data:   shards[i].blk,
@@ -199,11 +239,13 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	need := int64(len(d.Payload)) + 1
-	tx, err := p.st.pool.Begin(clk)
+	home := p.homeIdx(id)
+	pool := p.st.poolAt(home)
+	tx, err := pool.Begin(clk)
 	if err != nil {
 		return 0, err
 	}
-	blk, err := p.st.pool.Alloc(tx, need)
+	blk, err := pool.Alloc(tx, need)
 	if err != nil {
 		tx.Abort()
 		return 0, err
@@ -211,11 +253,11 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 	if err := tx.Commit(); err != nil {
 		return 0, err
 	}
-	dst, err := p.st.pool.Slice(blk, need)
+	dst, err := pool.Slice(blk, need)
 	if err != nil {
 		return 0, err
 	}
-	if err := p.st.pool.Mapping().Capture(int64(blk), need); err != nil {
+	if err := pool.Mapping().Capture(int64(blk), need); err != nil {
 		return 0, err
 	}
 	dst[0] = byte(d.Type)
@@ -256,8 +298,8 @@ func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
 	if in := p.st.ins; in.enabled {
 		in.shardBytes.Observe(chunk)
 	}
-	p.chargeParallelStore(need, encPasses, workers)
-	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumChunk); err != nil {
+	p.chargeParallelStore(home, need, encPasses, workers)
+	if err := pool.Mapping().Persist(clk, int64(blk), need, ptDatumChunk); err != nil {
 		return 0, err
 	}
 	rec := encodeValueRef(blk, need, crc)

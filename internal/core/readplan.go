@@ -172,11 +172,11 @@ func (p *PMEM) gatherJob(job copyJob, src, dst []byte, offs, counts []uint64, es
 func (p *PMEM) loadJobsSerial(jobs []copyJob, offs, counts []uint64, dst []byte, esize int) error {
 	_, decPasses := p.codec.CostProfile()
 	for _, job := range jobs {
-		src, err := p.st.pool.Slice(job.src.data, job.src.encLen)
+		src, err := p.poolOf(job.src.pool).Slice(job.src.data, job.src.encLen)
 		if err != nil {
 			return err
 		}
-		p.chargeDirectRead(job.bytes, decPasses)
+		p.chargeDirectRead(int(job.src.pool), job.bytes, decPasses)
 		if err := p.gatherJob(job, src, dst, offs, counts, esize); err != nil {
 			return err
 		}
@@ -201,7 +201,7 @@ func (p *PMEM) loadJobsParallel(jobs []copyJob, offs, counts []uint64, dst []byt
 	}
 	srcs := make([][]byte, len(jobs))
 	for i := range jobs {
-		src, err := p.st.pool.Slice(jobs[i].src.data, jobs[i].src.encLen)
+		src, err := p.poolOf(jobs[i].src.pool).Slice(jobs[i].src.data, jobs[i].src.encLen)
 		if err != nil {
 			return err
 		}
@@ -229,8 +229,25 @@ func (p *PMEM) loadJobsParallel(jobs []copyJob, offs, counts []uint64, dst []byt
 			return fmt.Errorf("core: parallel gather job %d: %w", i, err)
 		}
 	}
+	// Striped charge: jobs may gather from several member pools, whose
+	// devices stream concurrently — virtual time advances by the slowest
+	// pool's stripe.
 	_, decPasses := p.codec.CostProfile()
-	p.chargeParallelRead(total, decPasses, workers)
+	perPool := make([]int64, 0, 4)
+	pis := make([]int, 0, 4)
+	for pi := 0; pi < p.st.npools(); pi++ {
+		var n int64
+		for i := range jobs {
+			if int(jobs[i].src.pool) == pi {
+				n += jobs[i].bytes
+			}
+		}
+		if n > 0 {
+			perPool = append(perPool, n)
+			pis = append(pis, pi)
+		}
+	}
+	p.chargeStripedRead(perPool, pis, decPasses, workers)
 	p.st.parallelReads.Add(1)
 	p.st.parallelReadJobs.Add(int64(len(jobs)))
 	return nil

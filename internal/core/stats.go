@@ -33,6 +33,9 @@ type BlockStats struct {
 	// Skipped reports that the range was read from block characteristics
 	// without touching the payload.
 	Skipped bool
+	// Pool is the member pool the block lives in (always 0 on a single-pool
+	// store).
+	Pool int
 }
 
 // MinMax returns the value range of array id across all stored blocks. With
@@ -111,12 +114,13 @@ func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
 		bs := BlockStats{
 			Offs:   append([]uint64(nil), b.offs...),
 			Counts: append([]uint64(nil), b.counts...),
+			Pool:   int(b.pool),
 		}
-		if p.isQuarantined(b.data) {
+		if p.isQuarantined(b.pool, b.data) {
 			return nil, fmt.Errorf("core: id %q block at pool offset %d is quarantined: %w",
 				id, int64(b.data), ErrCorrupt)
 		}
-		src, err := p.st.pool.Slice(b.data, b.encLen)
+		src, err := p.poolOf(b.pool).Slice(b.data, b.encLen)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +145,7 @@ func (p *PMEM) BlockStatsOf(id string) ([]BlockStats, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.chargeDirectRead(int64(len(d.Payload)), 1)
+		p.chargeDirectRead(int(b.pool), int64(len(d.Payload)), 1)
 		mn, mx, okScan := scanMinMax(rec.dtype, d.Payload)
 		bs.Min, bs.Max, bs.HasStats = mn, mx, okScan
 		out = append(out, bs)

@@ -11,13 +11,14 @@ import (
 	"pmemcpy/internal/serial"
 )
 
-// putValue stores small metadata bytes under id in the active layout.
+// putValue stores small metadata bytes under id in the active layout. On a
+// sharded namespace the entry lands in the id's home pool's hashtable.
 func (p *PMEM) putValue(id string, value []byte) error {
 	clk := p.comm.Clock()
 	if p.st.layout == LayoutHierarchy {
 		return p.st.hier.putValue(clk, id, value)
 	}
-	return p.st.ht.Put(clk, []byte(id), value)
+	return p.homeHT(id).Put(clk, []byte(id), value)
 }
 
 // getValue loads small metadata bytes stored under id.
@@ -26,7 +27,7 @@ func (p *PMEM) getValue(id string) ([]byte, bool, error) {
 	if p.st.layout == LayoutHierarchy {
 		return p.st.hier.getValue(clk, id)
 	}
-	return p.st.ht.Get(clk, []byte(id))
+	return p.homeHT(id).Get(clk, []byte(id))
 }
 
 // Delete removes id (and not its "#dims" companion; delete that separately
@@ -58,42 +59,35 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	var owned []pmdk.PMID
+	var owned []poolPMID
 	switch {
-	case len(raw) > 0 && raw[0] == blockListTag:
+	case len(raw) > 0 && isBlockListTag(raw[0]):
 		blocks, err := decodeBlockList(raw)
 		if err != nil {
 			return false, err
 		}
 		for _, b := range blocks {
-			owned = append(owned, b.data)
+			owned = append(owned, poolPMID{pool: b.pool, id: b.data})
 		}
 	case len(raw) == valueRefLen && raw[0] == valueRefTag:
 		blk, _, _, err := decodeValueRef(raw)
 		if err != nil {
 			return false, err
 		}
-		owned = append(owned, blk)
+		owned = append(owned, poolPMID{pool: uint8(p.homeIdx(id)), id: blk})
 	}
 	// Unlink the metadata entry first, then free the storage it owned: a
 	// crash between the two leaks blocks (recoverable garbage), while the
 	// reverse order would leave the entry dangling at freed storage.
-	existed, err := p.st.ht.Delete(clk, []byte(id))
+	existed, err := p.homeHT(id).Delete(clk, []byte(id))
 	if err != nil || !existed {
 		return existed, err
 	}
 	if len(owned) > 0 {
-		tx, err := p.st.pool.Begin(clk)
-		if err != nil {
-			return false, err
-		}
-		for _, blk := range owned {
-			if err := p.st.pool.Free(tx, blk); err != nil {
-				tx.Abort()
-				return false, err
-			}
-		}
-		if err := tx.Commit(); err != nil {
+		// Striped blocks free in their owning pools: one transaction per
+		// touched pool, in ascending pool order so the persist sequence is
+		// deterministic for the crash explorer.
+		if err := p.freeBlocks(owned); err != nil {
 			return false, err
 		}
 		// Freed PMIDs may be reallocated to healthy blocks; dropping them
@@ -101,6 +95,37 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 		p.unquarantine(owned)
 	}
 	return true, nil
+}
+
+// freeBlocks frees a set of (pool, PMID) blocks, one transaction per touched
+// pool in ascending pool order.
+func (p *PMEM) freeBlocks(blks []poolPMID) error {
+	clk := p.comm.Clock()
+	for pi := 0; pi < p.st.npools(); pi++ {
+		var tx *pmdk.Tx
+		for _, b := range blks {
+			if int(b.pool) != pi {
+				continue
+			}
+			if tx == nil {
+				var err error
+				tx, err = p.st.poolAt(pi).Begin(clk)
+				if err != nil {
+					return err
+				}
+			}
+			if err := p.st.poolAt(pi).Free(tx, b.id); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		if tx != nil {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Keys lists every stored id (including "#dims" companions) in sorted order,
@@ -114,10 +139,15 @@ func (p *PMEM) Keys() ([]string, error) {
 	if p.st.layout == LayoutHierarchy {
 		out, err = p.st.hier.keys(clk)
 	} else {
-		err = p.st.ht.Range(clk, func(key []byte, _ pmdk.PMID, _ int64) bool {
-			out = append(out, string(key))
-			return true
-		})
+		// Every member pool's hashtable contributes its shard of the
+		// namespace; ids are unique across shards (each lives only in its
+		// home pool), so a plain merge needs no dedup.
+		for pi := 0; pi < p.st.npools() && err == nil; pi++ {
+			err = p.st.htAt(pi).Range(clk, func(key []byte, _ pmdk.PMID, _ int64) bool {
+				out = append(out, string(key))
+				return true
+			})
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -149,18 +179,22 @@ func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 	}
 	// Serialize directly into a PMEM block, then publish it as the KV value
 	// via a small pointer record. A 1-byte type prefix lets non-self-
-	// describing codecs decode.
+	// describing codecs decode. Whole values live in the id's home pool —
+	// the same pool as the pointer record — so a value ref needs no pool
+	// field.
 	clk := p.comm.Clock()
 	if ie, ok := p.codec.(serial.IdentityEncoder); ok && ie.IdentityEncode() &&
 		p.st.par > 1 && !p.st.staged && need >= parallelMinBytes {
 		n, err := p.storeDatumParallel(id, d)
 		return n, true, err
 	}
-	tx, err := p.st.pool.Begin(clk)
+	home := p.homeIdx(id)
+	pool := p.st.poolAt(home)
+	tx, err := pool.Begin(clk)
 	if err != nil {
 		return 0, false, err
 	}
-	blk, err := p.st.pool.Alloc(tx, need)
+	blk, err := pool.Alloc(tx, need)
 	if err != nil {
 		tx.Abort()
 		return 0, false, err
@@ -168,11 +202,11 @@ func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 	if err := tx.Commit(); err != nil {
 		return 0, false, err
 	}
-	dst, err := p.st.pool.Slice(blk, need)
+	dst, err := pool.Slice(blk, need)
 	if err != nil {
 		return 0, false, err
 	}
-	if err := p.st.pool.Mapping().Capture(int64(blk), need); err != nil {
+	if err := pool.Mapping().Capture(int64(blk), need); err != nil {
 		return 0, false, err
 	}
 	dst[0] = byte(d.Type)
@@ -184,8 +218,8 @@ func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 	// exact bytes a verified read will see — and is published atomically with
 	// the pointer record below.
 	crc := checksum.Sum(dst[:int64(wrote)+1])
-	p.chargeStoreBytes(int64(wrote)+1, encPasses)
-	if err := p.st.pool.Mapping().Persist(clk, int64(blk), need, ptDatumPayload); err != nil {
+	p.chargeStoreBytes(home, int64(wrote)+1, encPasses)
+	if err := pool.Mapping().Persist(clk, int64(blk), need, ptDatumPayload); err != nil {
 		return 0, false, err
 	}
 	// Publish: the KV value is a (pmid, len, crc) pointer record.
@@ -238,10 +272,11 @@ func (p *PMEM) loadDatum(id string) (*serial.Datum, int64, error) {
 		// metadata): a kind mismatch, not a missing id.
 		return nil, 0, fmt.Errorf("core: id %q does not hold a datum: %w", id, ErrTypeMismatch)
 	}
-	if p.isQuarantined(blk) {
+	home := p.homeIdx(id)
+	if p.isQuarantined(uint8(home), blk) {
 		return nil, 0, fmt.Errorf("core: id %q block %d is quarantined: %w", id, blk, ErrCorrupt)
 	}
-	src, err := p.st.pool.Slice(blk, n)
+	src, err := p.st.poolAt(home).Slice(blk, n)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -256,7 +291,7 @@ func (p *PMEM) loadDatum(id string) (*serial.Datum, int64, error) {
 		return nil, 0, err
 	}
 	_, decPasses := p.codec.CostProfile()
-	p.chargeDirectRead(n, decPasses)
+	p.chargeDirectRead(home, n, decPasses)
 	out := d.Clone() // the caller's datum must not alias the pool
 	_ = clk
 	return out, n, nil
@@ -266,11 +301,22 @@ func (p *PMEM) loadDatum(id string) (*serial.Datum, int64, error) {
 // blockListTag marks the block lists themselves; quarantineTag marks the
 // store-wide quarantine list (integrity.go). Raw metadata records (dims)
 // carry none of them.
+//
+// The pooled variants carry a pool index with every block reference — written
+// only when a record references a pool other than 0, so single-pool stores
+// keep producing byte-identical legacy records. Decoders accept both forms.
+// Value refs never need a pool: a whole value always lives in its id's home
+// pool.
 const (
-	valueRefTag   = 0xA7
-	blockListTag  = 0xB1
-	quarantineTag = 0xC3
+	valueRefTag         = 0xA7
+	blockListTag        = 0xB1
+	blockListPooledTag  = 0xB2
+	quarantineTag       = 0xC3
+	quarantinePooledTag = 0xC4
 )
+
+// isBlockListTag reports whether t marks either block-list form.
+func isBlockListTag(t byte) bool { return t == blockListTag || t == blockListPooledTag }
 
 // valueRefLen is the exact encoded size of a value ref:
 // tag + PMID + length + CRC32C.
@@ -298,9 +344,13 @@ func decodeValueRef(raw []byte) (pmdk.PMID, int64, uint32, error) {
 
 // blockRec describes one stored block of a variable. crc is the CRC32C of
 // the block's encLen encoded bytes, computed during the serialize-into-PMEM
-// copy and published atomically with the rest of the record.
+// copy and published atomically with the rest of the record. pool is the
+// member pool holding the block's payload — 0 on single-pool stores, and the
+// stripe target on sharded namespaces, where a parallel store's shards
+// round-robin from the id's home pool across all members.
 type blockRec struct {
 	dtype  serial.DType
+	pool   uint8
 	offs   []uint64
 	counts []uint64
 	data   pmdk.PMID
@@ -346,12 +396,15 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 		return n, true, err
 	}
 
-	// 1. Allocate the data block (transactional metadata update).
-	tx, err := p.st.pool.Begin(clk)
+	// 1. Allocate the data block (transactional metadata update) in the id's
+	// home pool — serial stores never stripe, so block and metadata co-locate.
+	home := p.homeIdx(id)
+	pool := p.st.poolAt(home)
+	tx, err := pool.Begin(clk)
 	if err != nil {
 		return 0, false, err
 	}
-	blk, err := p.st.pool.Alloc(tx, encSize)
+	blk, err := pool.Alloc(tx, encSize)
 	if err != nil {
 		tx.Abort()
 		return 0, false, err
@@ -362,11 +415,11 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 
 	// 2. Serialize DIRECTLY into the mapped PMEM block — the single pass
 	// that defines pMEMCPY — and persist it.
-	dst, err := p.st.pool.Slice(blk, encSize)
+	dst, err := pool.Slice(blk, encSize)
 	if err != nil {
 		return 0, false, err
 	}
-	if err := p.st.pool.Mapping().Capture(int64(blk), encSize); err != nil {
+	if err := pool.Mapping().Capture(int64(blk), encSize); err != nil {
 		return 0, false, err
 	}
 	wrote, err := p.codec.EncodeTo(dst, d)
@@ -376,8 +429,8 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 	// Checksum the encoded bytes while they are still hot in cache — the
 	// published CRC covers exactly the range a verified read will slice.
 	crc := checksum.Sum(dst[:wrote])
-	p.chargeStoreBytes(int64(wrote), encPasses)
-	if err := p.st.pool.Mapping().Persist(clk, int64(blk), int64(wrote), ptBlockPayload); err != nil {
+	p.chargeStoreBytes(home, int64(wrote), encPasses)
+	if err := pool.Mapping().Persist(clk, int64(blk), int64(wrote), ptBlockPayload); err != nil {
 		return 0, false, err
 	}
 
@@ -391,6 +444,7 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 	}
 	blocks = append(blocks, blockRec{
 		dtype:  rec.dtype,
+		pool:   uint8(home),
 		offs:   append([]uint64(nil), offs...),
 		counts: append([]uint64(nil), counts...),
 		data:   blk,
@@ -493,11 +547,28 @@ func (p *PMEM) loadBlockList(id string) ([]blockRec, bool, error) {
 func encodeBlockList(blocks []blockRec) []byte {
 	var buf []byte
 	var tmp [8]byte
+	// Content-driven tag selection: the pooled form is used exactly when a
+	// block lives outside pool 0, so the encoding is deterministic from the
+	// records alone and single-pool stores never change on disk.
+	pooled := false
+	for _, b := range blocks {
+		if b.pool != 0 {
+			pooled = true
+			break
+		}
+	}
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(blocks)))
-	buf = append(buf, blockListTag)
+	if pooled {
+		buf = append(buf, blockListPooledTag)
+	} else {
+		buf = append(buf, blockListTag)
+	}
 	buf = append(buf, tmp[:4]...)
 	for _, b := range blocks {
 		buf = append(buf, byte(b.dtype), byte(len(b.offs)))
+		if pooled {
+			buf = append(buf, b.pool)
+		}
 		for _, o := range b.offs {
 			binary.LittleEndian.PutUint64(tmp[:], o)
 			buf = append(buf, tmp[:]...)
@@ -517,25 +588,33 @@ func encodeBlockList(blocks []blockRec) []byte {
 }
 
 func decodeBlockList(raw []byte) ([]blockRec, error) {
-	if len(raw) < 5 || raw[0] != blockListTag {
+	if len(raw) < 5 || !isBlockListTag(raw[0]) {
 		return nil, fmt.Errorf("core: not a block list")
 	}
+	pooled := raw[0] == blockListPooledTag
+	hdr := 2
+	if pooled {
+		hdr = 3 // dtype, ndims, pool
+	}
 	n := binary.LittleEndian.Uint32(raw[1:])
-	// Each record is at least 22 bytes (2-byte header + two PMIDs + CRC), so
-	// a count the buffer cannot possibly hold is corruption; rejecting it here
+	// Each record is at least hdr+20 bytes (header + two PMIDs + CRC), so a
+	// count the buffer cannot possibly hold is corruption; rejecting it here
 	// keeps an attacker-controlled count from sizing the allocation below.
-	if int64(n) > int64(len(raw)-5)/22 {
+	if int64(n) > int64(len(raw)-5)/int64(hdr+20) {
 		return nil, fmt.Errorf("core: block list truncated")
 	}
 	pos := 5
 	out := make([]blockRec, 0, n)
 	for i := uint32(0); i < n; i++ {
-		if pos+2 > len(raw) {
+		if pos+hdr > len(raw) {
 			return nil, fmt.Errorf("core: block list truncated")
 		}
 		b := blockRec{dtype: serial.DType(raw[pos])}
 		ndims := int(raw[pos+1])
-		pos += 2
+		if pooled {
+			b.pool = raw[pos+2]
+		}
+		pos += hdr
 		if ndims > serial.MaxDims {
 			return nil, fmt.Errorf("core: block list rank %d", ndims)
 		}

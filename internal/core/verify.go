@@ -45,7 +45,7 @@ func (p *PMEM) VerifyStore() []string {
 			continue
 		}
 		switch {
-		case len(raw) > 0 && raw[0] == blockListTag:
+		case len(raw) > 0 && isBlockListTag(raw[0]):
 			blocks, err := decodeBlockList(raw)
 			if err != nil {
 				violatef("store.blocklist: %q: %v", key, err)
@@ -64,7 +64,7 @@ func (p *PMEM) VerifyStore() []string {
 				if err := nd.CheckBlock(rec.dims, b.offs, b.counts); err != nil {
 					violatef("store.block: %q block %d outside declared dims: %v", key, i, err)
 				}
-				usable, err := p.st.pool.UsableSize(clk, b.data)
+				usable, err := p.poolOf(b.pool).UsableSize(clk, b.data)
 				if err != nil {
 					violatef("store.block: %q block %d payload %d not allocated: %v",
 						key, i, b.data, err)
@@ -79,7 +79,7 @@ func (p *PMEM) VerifyStore() []string {
 				violatef("store.valueref: %q: %v", key, err)
 				continue
 			}
-			usable, err := p.st.pool.UsableSize(clk, blk)
+			usable, err := p.homePool(key).UsableSize(clk, blk)
 			if err != nil {
 				violatef("store.valueref: %q payload %d not allocated: %v", key, blk, err)
 			} else if n > usable {

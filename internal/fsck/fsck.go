@@ -140,3 +140,119 @@ func Check(clk *sim.Clock, m *pmem.Mapping) (*Report, error) {
 	}
 	return rep, nil
 }
+
+// SetReport is the result of one CheckSet run over a multi-pool namespace.
+type SetReport struct {
+	// Published reports whether the set's publish record (pool 0) is durable.
+	Published bool
+	// Violations lists cross-pool invariant violations (set.* invariants).
+	Violations []pmdk.Violation
+	// Pools holds the per-member structural reports, only populated for a
+	// published set (an unpublished set has no structure to hold to).
+	Pools []*Report
+}
+
+// OK reports whether the set is consistent: either cleanly unpublished
+// (creation crashed before the commit point — the namespace never existed)
+// or published with every member structurally clean.
+func (r *SetReport) OK() bool {
+	if len(r.Violations) != 0 {
+		return false
+	}
+	for _, p := range r.Pools {
+		if !p.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the first violated invariant across the set, or nil.
+func (r *SetReport) First() *pmdk.Violation {
+	if len(r.Violations) != 0 {
+		return &r.Violations[0]
+	}
+	for _, p := range r.Pools {
+		if v := p.First(); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// Summary returns a one-line human-readable result.
+func (r *SetReport) Summary() string {
+	if !r.Published {
+		if r.OK() {
+			return fmt.Sprintf("set unpublished (creation never committed); %d member pool(s) ignored", len(r.Pools))
+		}
+		return fmt.Sprintf("set unpublished with %d violation(s); first: %s", len(r.Violations), r.First())
+	}
+	if r.OK() {
+		keys := 0
+		for _, p := range r.Pools {
+			keys += p.Keys
+		}
+		return fmt.Sprintf("set clean: %d pools, %d keys", len(r.Pools), keys)
+	}
+	n := len(r.Violations)
+	for _, p := range r.Pools {
+		n += len(p.Violations)
+	}
+	return fmt.Sprintf("%d invariant(s) violated across set; first: %s", n, r.First())
+}
+
+// CheckSet verifies a multi-pool namespace: the cross-pool commit protocol's
+// membership invariants first, then each member pool structurally. The
+// asymmetry mirrors the protocol's recovery rule — before the publish record
+// is durable the namespace legitimately does not exist, so missing or torn
+// members are not violations; after it, every member descriptor was persisted
+// before the publish and anything invalid is corruption.
+func CheckSet(clk *sim.Clock, maps []*pmem.Mapping) (*SetReport, error) {
+	rep := &SetReport{}
+	if len(maps) == 0 {
+		return rep, fmt.Errorf("fsck: CheckSet needs at least one mapping")
+	}
+	d0, ok, err := pmdk.ReadSetDesc(clk, maps[0])
+	if err != nil {
+		return rep, err
+	}
+	if !ok || !d0.Published {
+		// Creation never reached the commit point: a consistent (empty)
+		// namespace regardless of how far the member pools got.
+		return rep, nil
+	}
+	rep.Published = true
+	if d0.Index != 0 || d0.Count != len(maps) {
+		rep.Violations = append(rep.Violations, pmdk.Violation{
+			Invariant: "set.publish",
+			Detail: fmt.Sprintf("publish record claims index %d of %d members, checked with %d",
+				d0.Index, d0.Count, len(maps)),
+		})
+	}
+	for i, m := range maps {
+		d, ok, err := pmdk.ReadSetDesc(clk, m)
+		if err != nil {
+			return rep, err
+		}
+		switch {
+		case !ok:
+			rep.Violations = append(rep.Violations, pmdk.Violation{
+				Invariant: "set.member",
+				Detail:    fmt.Sprintf("member %d has no valid descriptor under a published set", i),
+			})
+		case d.SetID != d0.SetID || d.Index != i || d.Count != len(maps):
+			rep.Violations = append(rep.Violations, pmdk.Violation{
+				Invariant: "set.member",
+				Detail: fmt.Sprintf("member %d descriptor mismatch: set %#x idx %d count %d (want set %#x idx %d count %d)",
+					i, d.SetID, d.Index, d.Count, d0.SetID, i, len(maps)),
+			})
+		}
+		pr, err := Check(clk, m)
+		if err != nil {
+			return rep, err
+		}
+		rep.Pools = append(rep.Pools, pr)
+	}
+	return rep, nil
+}

@@ -68,6 +68,11 @@ type Params struct {
 	CoalesceWindow int
 	// MaxInflight is the async queue bound (0 = library default).
 	MaxInflight int
+	// Pools shards the namespace across this many PMEM pools (libraries
+	// that do not implement pio.Poolable ignore it; <=1 = single pool). The
+	// harness provisions the node with one device per pool, each of
+	// DeviceSize bytes. Used by the multi-pool ablation (E17).
+	Pools int
 }
 
 // Result is one (library, ranks) measurement.
@@ -123,6 +128,11 @@ func Run(lib pio.Library, p Params) (Result, error) {
 			lib = az.WithAsync(p.CoalesceWindow, p.MaxInflight)
 		}
 	}
+	if p.Pools > 1 {
+		if pl, ok := lib.(pio.Poolable); ok {
+			lib = pl.WithPools(p.Pools)
+		}
+	}
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}
 	for i := 0; i < p.Runs; i++ {
 		one, err := runOnce(lib, p)
@@ -149,8 +159,17 @@ func runOnce(lib pio.Library, p Params) (Result, error) {
 	if devSize == 0 {
 		// Data + serialization headers + pool metadata headroom.
 		devSize = spec.TotalBytes() + spec.TotalBytes()/4 + (64 << 20)
+		if p.Pools > 1 {
+			// Striping spreads the data evenly; each member device holds its
+			// share plus per-pool metadata headroom.
+			devSize = devSize/int64(p.Pools) + (64 << 20)
+		}
 	}
-	n := node.New(p.Config, devSize)
+	var nopts []node.Option
+	if p.Pools > 1 {
+		nopts = append(nopts, node.WithPMEMPools(p.Pools))
+	}
+	n := node.New(p.Config, devSize, nopts...)
 
 	// ---- Write phase: open/mmap .. close, max over ranks ----
 	n.Machine.SetConcurrency(p.Ranks)

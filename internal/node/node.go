@@ -6,16 +6,25 @@
 package node
 
 import (
+	"fmt"
+	"math/rand"
+
 	"pmemcpy/internal/pmem"
 	"pmemcpy/internal/posixfs"
 	"pmemcpy/internal/sim"
 )
 
-// Node is one compute node with local PMEM.
+// Node is one compute node with local PMEM. A node built with WithPMEMPools
+// carries several independent PMEM devices (one DIMM set each, with dedicated
+// bandwidth ports), each formatted with its own DAX filesystem; Device and FS
+// remain the first of them so single-pool callers are unaffected.
 type Node struct {
 	Machine *sim.Machine
 	Device  *pmem.Device
 	FS      *posixfs.FS
+
+	devices []*pmem.Device
+	fss     []*posixfs.FS
 }
 
 // Option configures node construction.
@@ -23,25 +32,74 @@ type Option func(*options)
 
 type options struct {
 	devOpts []pmem.Option
+	pools   int
 }
 
-// WithDeviceOptions forwards options (e.g. crash tracking) to the device.
+// WithDeviceOptions forwards options (e.g. crash tracking) to the device(s).
 func WithDeviceOptions(opts ...pmem.Option) Option {
 	return func(o *options) { o.devOpts = append(o.devOpts, opts...) }
 }
 
-// New builds a node with a PMEM device of devSize bytes formatted with a DAX
-// filesystem.
+// WithPMEMPools equips the node with n independent PMEM devices of devSize
+// bytes each. With n > 1 every device gets its own dedicated read/write
+// bandwidth port pair, and all devices share one fault domain so crash
+// injection and persist-op ordinals span the whole namespace.
+func WithPMEMPools(n int) Option {
+	return func(o *options) {
+		if n > 1 {
+			o.pools = n
+		}
+	}
+}
+
+// New builds a node with its PMEM device(s) of devSize bytes formatted with a
+// DAX filesystem each.
 func New(cfg sim.Config, devSize int64, opts ...Option) *Node {
 	var o options
 	for _, op := range opts {
 		op(&o)
 	}
 	m := sim.NewMachine(cfg)
-	dev := pmem.New(m, devSize, o.devOpts...)
-	return &Node{
-		Machine: m,
-		Device:  dev,
-		FS:      posixfs.New(dev),
+	if o.pools <= 1 {
+		dev := pmem.New(m, devSize, o.devOpts...)
+		fs := posixfs.New(dev)
+		return &Node{
+			Machine: m,
+			Device:  dev,
+			FS:      fs,
+			devices: []*pmem.Device{dev},
+			fss:     []*posixfs.FS{fs},
+		}
+	}
+	n := &Node{Machine: m}
+	for i := 0; i < o.pools; i++ {
+		devOpts := append([]pmem.Option{pmem.WithDedicatedPorts(fmt.Sprintf("pmem%d", i))}, o.devOpts...)
+		if i > 0 {
+			devOpts = append(devOpts, pmem.WithFaultDomain(n.devices[0]))
+		}
+		dev := pmem.New(m, devSize, devOpts...)
+		n.devices = append(n.devices, dev)
+		n.fss = append(n.fss, posixfs.New(dev))
+	}
+	n.Device = n.devices[0]
+	n.FS = n.fss[0]
+	return n
+}
+
+// Pools returns the number of PMEM devices on the node (>= 1).
+func (n *Node) Pools() int { return len(n.devices) }
+
+// DeviceAt returns the i-th PMEM device.
+func (n *Node) DeviceAt(i int) *pmem.Device { return n.devices[i] }
+
+// FSAt returns the DAX filesystem of the i-th PMEM device.
+func (n *Node) FSAt(i int) *posixfs.FS { return n.fss[i] }
+
+// CrashAll power-cycles every device of the node. Devices of a multi-pool
+// node share one fault domain, so the repeated injector reset is harmless;
+// each device's unpersisted cachelines are rolled back per mode.
+func (n *Node) CrashAll(mode pmem.CrashMode, rng *rand.Rand) {
+	for _, d := range n.devices {
+		d.Crash(mode, rng)
 	}
 }

@@ -114,6 +114,17 @@ type Verifiable interface {
 	WithVerifyReads(mode int) Library
 }
 
+// Poolable is implemented by libraries that can shard one namespace across
+// multiple independent persistent-memory pools (pMEMCPY's pool sets).
+// WithPools returns a copy configured to stripe data over n member pools;
+// n <= 1 restores the classic single-pool store. The node driving the session
+// must carry a matching device per pool (node.WithPMEMPools). The harness
+// uses it for the multi-pool ablation (E17).
+type Poolable interface {
+	Library
+	WithPools(n int) Library
+}
+
 // Asyncable is implemented by libraries whose writes can run through an
 // asynchronous submission pipeline with write coalescing and group commit
 // (pMEMCPY's async engine). WithAsync returns a copy whose sessions queue

@@ -46,17 +46,33 @@ type Device struct {
 	machine *sim.Machine
 	data    []byte
 
+	// readPort and writePort are the bandwidth pools this device's traffic is
+	// charged against. They default to the machine's built-in PMEM ports; a
+	// device of a multi-pool node gets its own dedicated pair
+	// (WithDedicatedPorts), which is what lets aggregate bandwidth scale with
+	// the pool count.
+	readPort  *sim.Pool
+	writePort *sim.Pool
+
 	tracking bool
 	mu       sync.Mutex
 	preimage map[int64][]byte // line index -> pre-image of first unpersisted write
 
-	failed        atomic.Bool
-	persistBudget atomic.Int64 // noFailInjection = disabled
-
-	inj injector
+	// fault is the injection/failure state. Devices constructed with
+	// WithFaultDomain share one state, so a multi-pool node has a single
+	// persist-op ordinal space, one armed crash, and one failure switch.
+	fault *faultState
 
 	ctr  counters
 	sink atomic.Pointer[sinkHolder]
+}
+
+// faultState bundles the failure flag, the persist budget, and the injector of
+// one fault domain (by default: one device; for multi-pool nodes: all pools).
+type faultState struct {
+	failed        atomic.Bool
+	persistBudget atomic.Int64 // noFailInjection = disabled
+	inj           injector
 }
 
 // Counters is a snapshot of the device's always-on operation counters. They
@@ -124,18 +140,37 @@ func WithCrashTracking() Option {
 	return func(d *Device) { d.tracking = true }
 }
 
+// WithDedicatedPorts gives the device its own read/write bandwidth port pair
+// (minted from the machine's config and covered by SetConcurrency) instead of
+// the machine's shared default ports. Every device of a multi-pool node uses
+// one, modelling one DIMM set per pool.
+func WithDedicatedPorts(name string) Option {
+	return func(d *Device) { d.readPort, d.writePort = d.machine.NewPMEMPorts(name) }
+}
+
+// WithFaultDomain places the device in primary's fault domain: injected
+// failures, armed crashes, trace recording, and persist-op ordinals are shared
+// across every device of the domain. The crash-point explorer relies on this
+// to enumerate one global persist sequence over a multi-pool namespace.
+func WithFaultDomain(primary *Device) Option {
+	return func(d *Device) { d.fault = primary.fault }
+}
+
 // New creates a device of the given size backed by host DRAM.
 func New(m *sim.Machine, size int64, opts ...Option) *Device {
 	if size <= 0 {
 		panic(fmt.Sprintf("pmem: device size must be positive, got %d", size))
 	}
 	d := &Device{
-		machine:  m,
-		data:     make([]byte, size),
-		preimage: make(map[int64][]byte),
+		machine:   m,
+		data:      make([]byte, size),
+		preimage:  make(map[int64][]byte),
+		readPort:  m.PMEMRead,
+		writePort: m.PMEMWrite,
+		fault:     new(faultState),
 	}
-	d.persistBudget.Store(noFailInjection)
-	d.inj.crashOp = -1
+	d.fault.persistBudget.Store(noFailInjection)
+	d.fault.inj.crashOp = -1
 	for _, o := range opts {
 		o(d)
 	}
@@ -148,18 +183,18 @@ func New(m *sim.Machine, size int64, opts ...Option) *Device {
 // previously fired failure, so a test can re-arm after Crash.
 func (d *Device) FailAfterPersists(n int64) {
 	if n < 0 {
-		d.persistBudget.Store(noFailInjection)
+		d.fault.persistBudget.Store(noFailInjection)
 	} else {
-		d.persistBudget.Store(n)
+		d.fault.persistBudget.Store(n)
 	}
-	d.failed.Store(false)
+	d.fault.failed.Store(false)
 }
 
 // Failed reports whether injected failure has fired.
-func (d *Device) Failed() bool { return d.failed.Load() }
+func (d *Device) Failed() bool { return d.fault.failed.Load() }
 
 func (d *Device) checkAlive() error {
-	if d.failed.Load() {
+	if d.fault.failed.Load() {
 		return ErrFailed
 	}
 	return nil
@@ -170,6 +205,13 @@ func (d *Device) Size() int64 { return int64(len(d.data)) }
 
 // Machine returns the machine model this device charges costs against.
 func (d *Device) Machine() *sim.Machine { return d.machine }
+
+// ReadPort returns the bandwidth pool this device's reads are charged against.
+func (d *Device) ReadPort() *sim.Pool { return d.readPort }
+
+// WritePort returns the bandwidth pool this device's writes are charged
+// against.
+func (d *Device) WritePort() *sim.Pool { return d.writePort }
 
 // Tracking reports whether crash tracking is enabled.
 func (d *Device) Tracking() bool { return d.tracking }
@@ -250,7 +292,7 @@ func (d *Device) ChargeRead(clk *sim.Clock, n int64, mapSync bool) {
 	d.ctr.readBytes.Add(n)
 	cfg := d.machine.Config()
 	clk.Advance(cfg.PMEMReadLatency)
-	clk.Advance(d.machine.PMEMRead.Cost(n))
+	clk.Advance(d.readPort.Cost(n))
 	if mapSync {
 		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
 		clk.Advance(time.Duration(lines) * cfg.MapSyncLine)
@@ -267,7 +309,7 @@ func (d *Device) ChargeWrite(clk *sim.Clock, n int64, mapSync bool) {
 	d.ctr.writtenBytes.Add(n)
 	cfg := d.machine.Config()
 	clk.Advance(cfg.PMEMWriteLatency)
-	clk.Advance(d.machine.PMEMWrite.Cost(n))
+	clk.Advance(d.writePort.Cost(n))
 	if mapSync {
 		lines := (n + sim.CachelineSize - 1) / sim.CachelineSize
 		clk.Advance(time.Duration(lines) * cfg.MapSyncLine)
@@ -312,14 +354,14 @@ func (d *Device) Persist(clk *sim.Clock, off, n int64, pt PointID) error {
 	if err := d.check(off, n); err != nil {
 		return err
 	}
-	if b := d.persistBudget.Load(); b != noFailInjection {
+	if b := d.fault.persistBudget.Load(); b != noFailInjection {
 		if b <= 0 {
-			d.failed.Store(true)
+			d.fault.failed.Store(true)
 			return ErrFailed
 		}
-		d.persistBudget.Add(-1)
+		d.fault.persistBudget.Add(-1)
 	}
-	if d.inj.active.Load() {
+	if d.fault.inj.active.Load() {
 		if err := d.injectPersist(clk, off, n, pt); err != nil {
 			return err
 		}
@@ -347,8 +389,8 @@ func (d *Device) Persist(clk *sim.Clock, off, n int64, pt PointID) error {
 // carry a point ID and appear in traces, but are not injectable: a crash at a
 // fence is state-equivalent to a crash at the next persist.
 func (d *Device) Fence(clk *sim.Clock, pt PointID) {
-	if d.inj.active.Load() {
-		in := &d.inj
+	if d.fault.inj.active.Load() {
+		in := &d.fault.inj
 		in.mu.Lock()
 		if in.tracing {
 			in.trace = append(in.trace, TraceEvent{Kind: EventFence, Point: pt, Op: -1})
@@ -414,8 +456,8 @@ func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 	d.preimage = make(map[int64][]byte)
 	// Power is restored after the crash: disarm injection so recovery code
 	// can run against the surviving state.
-	d.persistBudget.Store(noFailInjection)
-	in := &d.inj
+	d.fault.persistBudget.Store(noFailInjection)
+	in := &d.fault.inj
 	in.mu.Lock()
 	in.crashOp = -1
 	in.tearSeed = 0
@@ -424,5 +466,5 @@ func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 	in.trace = nil
 	in.recompute()
 	in.mu.Unlock()
-	d.failed.Store(false)
+	d.fault.failed.Store(false)
 }

@@ -157,13 +157,13 @@ func (d *Device) ArmCrashAtOp(k int64, tearSeed uint64) {
 	if k < 0 {
 		panic(fmt.Sprintf("pmem: ArmCrashAtOp ordinal must be >= 0, got %d", k))
 	}
-	in := &d.inj
+	in := &d.fault.inj
 	in.mu.Lock()
 	in.crashOp = in.ops + k
 	in.tearSeed = tearSeed
 	in.recompute()
 	in.mu.Unlock()
-	d.failed.Store(false)
+	d.fault.failed.Store(false)
 }
 
 // InjectTransient schedules count consecutive transient media errors at the
@@ -174,7 +174,7 @@ func (d *Device) InjectTransient(k int64, count int) {
 	if k < 0 || count <= 0 {
 		panic(fmt.Sprintf("pmem: InjectTransient(%d, %d) out of range", k, count))
 	}
-	in := &d.inj
+	in := &d.fault.inj
 	in.mu.Lock()
 	if in.transient == nil {
 		in.transient = make(map[int64]int)
@@ -187,7 +187,7 @@ func (d *Device) InjectTransient(k int64, count int) {
 // DisarmInjection clears any armed crash and pending transient errors and
 // stops tracing. A fired failure is cleared too.
 func (d *Device) DisarmInjection() {
-	in := &d.inj
+	in := &d.fault.inj
 	in.mu.Lock()
 	in.crashOp = -1
 	in.tearSeed = 0
@@ -196,14 +196,14 @@ func (d *Device) DisarmInjection() {
 	in.trace = nil
 	in.recompute()
 	in.mu.Unlock()
-	d.failed.Store(false)
+	d.fault.failed.Store(false)
 }
 
 // StartTrace begins recording persist/fence events. Persist-op ordinals in
 // the resulting trace are counted from this call, matching what a subsequent
 // ArmCrashAtOp on a freshly set-up device would see.
 func (d *Device) StartTrace() {
-	in := &d.inj
+	in := &d.fault.inj
 	in.mu.Lock()
 	in.tracing = true
 	in.trace = nil
@@ -215,7 +215,7 @@ func (d *Device) StartTrace() {
 
 // StopTrace ends recording and returns the captured events.
 func (d *Device) StopTrace() []TraceEvent {
-	in := &d.inj
+	in := &d.fault.inj
 	in.mu.Lock()
 	ev := in.trace
 	in.trace = nil
@@ -227,17 +227,17 @@ func (d *Device) StopTrace() []TraceEvent {
 
 // PersistRetries returns the total number of transient persist failures the
 // retry/backoff path absorbed.
-func (d *Device) PersistRetries() int64 { return d.inj.retries.Load() }
+func (d *Device) PersistRetries() int64 { return d.fault.inj.retries.Load() }
 
 // MediaFailures returns the number of persists that escalated to ErrMedia.
-func (d *Device) MediaFailures() int64 { return d.inj.mediaFailures.Load() }
+func (d *Device) MediaFailures() int64 { return d.fault.inj.mediaFailures.Load() }
 
 // injectPersist runs the injection state machine for one persist operation.
 // It returns a non-nil error when the op must fail (armed crash or
 // uncorrectable media error); transient failures below the retry bound only
 // charge backoff time. Called with no device locks held.
 func (d *Device) injectPersist(clk *sim.Clock, off, n int64, pt PointID) error {
-	in := &d.inj
+	in := &d.fault.inj
 	in.mu.Lock()
 	op := in.ops
 	in.ops++
@@ -261,7 +261,7 @@ func (d *Device) injectPersist(clk *sim.Clock, off, n int64, pt PointID) error {
 		if tearSeed != 0 && d.tracking && n > 0 {
 			d.tearRange(off, n, tearSeed)
 		}
-		d.failed.Store(true)
+		d.fault.failed.Store(true)
 		return fmt.Errorf("persist %d at %s: %w", op, PointName(pt), ErrFailed)
 	}
 	for attempt := 1; attempt <= failures; attempt++ {

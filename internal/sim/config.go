@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -166,9 +167,17 @@ type Machine struct {
 	DRAM *Pool
 	// Net is the shared-memory interconnect pool.
 	Net *Pool
-	// PMEMRead and PMEMWrite are the device's read and write ports.
+	// PMEMRead and PMEMWrite are the default device's read and write ports.
 	PMEMRead  *Pool
 	PMEMWrite *Pool
+
+	// extra holds port pools minted by NewPMEMPorts for additional PMEM
+	// devices (multi-pool nodes). SetConcurrency covers them like the
+	// built-in four, and ports minted after a SetConcurrency call inherit
+	// the last divisor.
+	extraMu sync.Mutex
+	extra   []*Pool
+	lastN   int
 }
 
 // NewMachine builds the pools for cfg. It panics if cfg is invalid, matching
@@ -197,6 +206,31 @@ func (m *Machine) SetConcurrency(n int) {
 	m.Net.SetConcurrency(n)
 	m.PMEMRead.SetConcurrency(n)
 	m.PMEMWrite.SetConcurrency(n)
+	m.extraMu.Lock()
+	m.lastN = n
+	for _, p := range m.extra {
+		p.SetConcurrency(n)
+	}
+	m.extraMu.Unlock()
+}
+
+// NewPMEMPorts mints a dedicated read/write port pair for one additional PMEM
+// device on this machine, with the config's device bandwidths and per-rank
+// caps. Each pool of a multi-pool namespace charges its traffic against its
+// own pair, which is what makes aggregate bandwidth scale with the pool count
+// (one DIMM set per pool); the pair is registered so SetConcurrency keeps
+// covering it.
+func (m *Machine) NewPMEMPorts(name string) (read, write *Pool) {
+	read = NewPoolCapped(name+"-read", m.cfg.PMEMReadBandwidth, m.cfg.PMEMPerRankReadBW)
+	write = NewPoolCapped(name+"-write", m.cfg.PMEMWriteBandwidth, m.cfg.PMEMPerRankWriteBW)
+	m.extraMu.Lock()
+	if m.lastN > 0 {
+		read.SetConcurrency(m.lastN)
+		write.SetConcurrency(m.lastN)
+	}
+	m.extra = append(m.extra, read, write)
+	m.extraMu.Unlock()
+	return read, write
 }
 
 // Oversub returns the CPU oversubscription factor for n ranks.

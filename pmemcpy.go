@@ -65,6 +65,7 @@ type NodeOption func(*nodeOptions)
 
 type nodeOptions struct {
 	crashTracking bool
+	pools         int
 }
 
 // WithCrashTracking enables power-failure simulation on the node's device:
@@ -74,16 +75,28 @@ func WithCrashTracking() NodeOption {
 	return func(o *nodeOptions) { o.crashTracking = true }
 }
 
+// WithPMEMPools provisions the node with n independent PMEM devices of
+// devSize bytes each (n <= 1 keeps the classic single device). Pair it with
+// the WithPools Mmap option to shard one namespace across the devices. All
+// devices share one fault domain: SimulateCrash power-cycles them together.
+func WithPMEMPools(n int) NodeOption {
+	return func(o *nodeOptions) { o.pools = n }
+}
+
 // NewNode builds a node whose PMEM device holds devSize bytes.
 func NewNode(cfg Config, devSize int64, opts ...NodeOption) *Node {
 	var o nodeOptions
 	for _, op := range opts {
 		op(&o)
 	}
+	var nopts []node.Option
 	if o.crashTracking {
-		return node.New(cfg, devSize, node.WithDeviceOptions(pmem.WithCrashTracking()))
+		nopts = append(nopts, node.WithDeviceOptions(pmem.WithCrashTracking()))
 	}
-	return node.New(cfg, devSize)
+	if o.pools > 1 {
+		nopts = append(nopts, node.WithPMEMPools(o.pools))
+	}
+	return node.New(cfg, devSize, nopts...)
 }
 
 // CrashMode selects the adversary used by SimulateCrash.
@@ -97,12 +110,13 @@ const (
 	CrashRandom  = pmem.CrashRandom
 )
 
-// SimulateCrash power-cycles the node's PMEM device: unpersisted stores are
+// SimulateCrash power-cycles the node's PMEM devices (all of them, on a
+// multi-pool node — they share one fault domain): unpersisted stores are
 // rolled back according to mode (rng may be nil except for CrashRandom).
 // The node must have been created with WithCrashTracking. Any PMEM handles
 // open at crash time are dead; re-Mmap to run recovery.
 func SimulateCrash(n *Node, mode CrashMode, rng *rand.Rand) {
-	n.Device.Crash(mode, rng)
+	n.CrashAll(mode, rng)
 }
 
 // Comm is a communicator handle held by each rank of a parallel run.
@@ -183,6 +197,9 @@ var (
 	WithPoolSize = core.WithPoolSize
 	// WithBuckets sets the metadata hashtable's bucket count.
 	WithBuckets = core.WithBuckets
+	// WithPools shards the namespace across n member pools (hashtable layout
+	// only); the node must carry matching devices (WithPMEMPools).
+	WithPools = core.WithPools
 	// WithStagedSerialization enables the DRAM-staging ablation.
 	WithStagedSerialization = core.WithStagedSerialization
 	// WithParallelism sets the per-rank copy-engine worker count.
