@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async cover bench-check bench-async fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async cover apicheck leasecheck bench-check bench-async bench-views fuzz bench clean
 
 all: tier1
 
@@ -20,8 +20,23 @@ vet:
 tier1: build vet test
 
 # verify is the pre-merge checklist: the tier-1 gate, the race detector, the
-# fault-injection suite, the observability gates, and the integrity battery.
-verify: tier1 race faults obs obsdeps integrity async cover
+# fault-injection suite, the observability gates, the integrity battery, and
+# the API-surface / lease-misuse lints.
+verify: tier1 race faults obs obsdeps integrity async cover apicheck leasecheck
+
+# apicheck pins the public v2 API surface: every exported declaration in
+# package pmemcpy against testdata/api_golden.txt. An intended surface change
+# regenerates with `go test -run TestPublicAPIGolden -update .`.
+apicheck:
+	$(GO) test -run 'TestPublicAPIGolden' .
+
+# leasecheck is the view-misuse lint pass: go vet's copylocks catches a View
+# or BlockView copied by value (both embed a noCopy lock), and leasevet flags
+# view-producing calls whose result — and therefore whose lease — is
+# discarded.
+leasecheck:
+	$(GO) vet -copylocks ./...
+	$(GO) run ./cmd/leasevet ./...
 
 # Integrity battery: checksum algebra, verified reads and quarantine, the
 # scrubber, the corruption differential (flavor C: ErrCorrupt or model bytes,
@@ -30,7 +45,7 @@ verify: tier1 race faults obs obsdeps integrity async cover
 integrity:
 	$(GO) test ./internal/checksum/
 	$(GO) test -run 'TestDeep' ./cmd/pmemfsck/
-	$(GO) test -race -timeout 20m -run 'TestVerify|TestScrub|TestQuarantine|TestParallelStoreCRC|TestDifferentialCorruption|TestConcurrentCompactVsParallelGather|TestConcurrentMultiPoolStress' ./internal/core/
+	$(GO) test -race -timeout 20m -run 'TestVerify|TestScrub|TestQuarantine|TestParallelStoreCRC|TestDifferentialCorruption|TestConcurrentCompactVsParallelGather|TestConcurrentMultiPoolStress|TestConcurrentViewStress' ./internal/core/
 
 # Async pipeline suite: the submission-queue unit tests and the -race queue
 # stress (TestAsyncQueueStress) in internal/core, the async crash-point
@@ -40,14 +55,15 @@ async:
 	$(GO) test -race -timeout 20m -run 'TestAsync|TestExploreAsync|TestCrashAsync|TestDifferentialAsync|TestCompactCancelled' ./internal/core/
 	$(GO) test -run 'TestErrorConformance' .
 
-# Coverage gate over the storage engine (internal/core) and the allocator /
-# pool-set layer (internal/pmdk): combined statement coverage must not drop
-# below the floor. The floor trails the current figure (~81%) by a few points
-# so refactors have headroom, but a change that lands a subsystem without
-# tests will trip it.
+# Coverage gate over the storage engine (internal/core), the allocator /
+# pool-set layer (internal/pmdk), and the zero-copy reinterpretation helpers
+# (internal/bytesview): combined statement coverage must not drop below the
+# floor. The floor trails the current figure (~81%) by a few points so
+# refactors have headroom, but a change that lands a subsystem without tests
+# will trip it.
 COVER_FLOOR ?= 75.0
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/pmdk/
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/pmdk/ ./internal/bytesview/
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
 	echo "combined statement coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
@@ -64,6 +80,13 @@ bench-check:
 # perf gate for submission-queue changes.
 bench-async:
 	$(GO) run ./cmd/pmembench -ablation async -procs 4
+
+# bench-views runs the E18 zero-copy view experiment and fails when leased
+# views buy less than 1.5x over the copying load on single-block reads of at
+# least 1 MB, or when any identity-codec read misses the zero-copy path —
+# the perf gate for read-view/lease changes.
+bench-views:
+	$(GO) run ./cmd/pmembench -ablation views -procs 4
 
 # Fault-injection suite: the crash-point explorer smoke workloads (every
 # reached persist point crash-tested, clean and torn) plus the differential

@@ -1,0 +1,202 @@
+package pmemcpy_test
+
+// Public-API golden snapshot: every exported name in package pmemcpy —
+// functions, methods on exported receivers, types (exported fields only),
+// consts and vars — is rendered one per line and compared against
+// testdata/api_golden.txt. The v2 surface is a deliberate artifact: a change
+// that widens or narrows it must show up in review as a golden diff, not slip
+// in as an incidental hunk. Regenerate with:
+//
+//	go test -run TestPublicAPIGolden -update .
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPIGolden = flag.Bool("update", false, "rewrite testdata goldens")
+
+func TestPublicAPIGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["pmemcpy"]
+	if !ok {
+		t.Fatalf("package pmemcpy not found in .")
+	}
+
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				lines = append(lines, renderDecl(fset, &fn))
+			case *ast.GenDecl:
+				lines = append(lines, renderGen(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "api_golden.txt")
+	if *updateAPIGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d exported declarations)", golden, len(lines))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface drifted from %s:\n%s\nIf the change is intended, regenerate with: go test -run TestPublicAPIGolden -update .",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// exportedRecv reports whether a receiver (nil for plain functions) names an
+// exported type, so methods on unexported types stay out of the snapshot.
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil {
+		return true
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// renderGen renders the exported parts of a const/var/type declaration, one
+// line per exported spec.
+func renderGen(fset *token.FileSet, d *ast.GenDecl) []string {
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			ts := *s
+			ts.Doc, ts.Comment = nil, nil
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				ts.Type = exportedStruct(st)
+			}
+			out = append(out, "type "+renderDecl(fset, &ts))
+		case *ast.ValueSpec:
+			vs := *s
+			vs.Doc, vs.Comment = nil, nil
+			var keep []*ast.Ident
+			for _, name := range vs.Names {
+				if name.IsExported() {
+					keep = append(keep, name)
+				}
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			// Values are part of the contract for consts (callers bake them
+			// in) but implementation detail for vars, whose initializer may
+			// reference unexported code; keep names and types only for vars.
+			if d.Tok == token.VAR {
+				vs.Values = nil
+			}
+			vs.Names = keep
+			out = append(out, d.Tok.String()+" "+renderDecl(fset, &vs))
+		}
+	}
+	return out
+}
+
+// exportedStruct returns a copy of st holding only its exported fields —
+// unexported fields are private layout, not API.
+func exportedStruct(st *ast.StructType) *ast.StructType {
+	cp := *st
+	fields := &ast.FieldList{}
+	for _, f := range st.Fields.List {
+		keep := len(f.Names) == 0 // embedded: rendered name decides
+		for _, name := range f.Names {
+			if name.IsExported() {
+				keep = true
+			}
+		}
+		if keep {
+			fc := *f
+			fc.Doc, fc.Comment = nil, nil
+			fields.List = append(fields.List, &fc)
+		}
+	}
+	cp.Fields = fields
+	return &cp
+}
+
+// renderDecl prints an AST node on one whitespace-normalized line.
+func renderDecl(fset *token.FileSet, node any) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// diffLines reports the lines present in exactly one of want/got.
+func diffLines(want, got string) string {
+	w := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		w[l] = true
+	}
+	g := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		g[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !g[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !w[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering or whitespace change)"
+	}
+	return b.String()
+}

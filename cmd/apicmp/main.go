@@ -151,6 +151,41 @@ const pmemcpyGoAsync = `func write(c *pmemcpy.Comm, n *pmemcpy.Node, path string
 	return pmem.Munmap()
 }`
 
+// The read side of the same program through the copying v1 surface: the
+// caller sizes and owns the destination buffer, and every byte is streamed
+// out of PMEM into it.
+const pmemcpyGoRead = `func read(c *pmemcpy.Comm, n *pmemcpy.Node, path string) error {
+	count := uint64(100)
+	off := count * uint64(c.Rank())
+	data := make([]float64, count)
+	pmem, err := pmemcpy.Mmap(c, n, path)
+	if err != nil {
+		return err
+	}
+	pmemcpy.LoadSub(pmem, "A", data, []uint64{off}, []uint64{count})
+	consume(data)
+	return pmem.Munmap()
+}`
+
+// The zero-copy v2 read: Array.View leases the stored bytes in place — no
+// destination buffer, no transfer — and Close releases the lease. The only
+// added line over the copying read is the deferred Close that scopes the
+// lease.
+const pmemcpyGoView = `func read(c *pmemcpy.Comm, n *pmemcpy.Node, path string) error {
+	count := uint64(100)
+	off := count * uint64(c.Rank())
+	pmem, err := pmemcpy.Mmap(c, n, path, pmemcpy.WithCodec("raw"))
+	if err != nil {
+		return err
+	}
+	a, _ := pmemcpy.OpenArray[float64](pmem, "A")
+	v, _ := a.View([]uint64{off}, []uint64{count})
+	defer v.Close()
+	data, _ := v.Data()
+	consume(data)
+	return pmem.Munmap()
+}`
+
 func main() {
 	type row struct {
 		name         string
@@ -166,6 +201,8 @@ func main() {
 		{"pMEMCPY (this repo, Go)", pmemcpyGo, 0, 0, "-"},
 		{"pMEMCPY (Go, v2 Array)", pmemcpyGoV2, 0, 0, "-"},
 		{"pMEMCPY (Go, v2 async)", pmemcpyGoAsync, 0, 0, "-"},
+		{"pMEMCPY (Go, v1 read)", pmemcpyGoRead, 0, 0, "-"},
+		{"pMEMCPY (Go, v2 view)", pmemcpyGoView, 0, 0, "-"},
 	}
 
 	fmt.Println("SECTION 3 API COMPLEXITY — write 100 doubles/process to a shared 1-D array")

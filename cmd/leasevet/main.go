@@ -1,0 +1,170 @@
+// Command leasevet is a small static checker for the zero-copy view API: a
+// view returned by LoadView, LoadBlockView, or Array.View holds a lease that
+// pins deferred block frees until Close, so a call whose result is discarded
+// leaks the lease for the life of the process (the runtime finalizer only
+// counts the leak, it does not release it). leasevet flags:
+//
+//   - a view-producing call used as a bare statement (result discarded), and
+//   - a view-producing call whose view result is assigned to the blank
+//     identifier.
+//
+// Usage: leasevet ./... (or explicit package directories). Exits 1 when any
+// finding is reported. It is wired into `make leasecheck` next to go vet's
+// copylocks pass, which catches the complementary misuse (copying a View by
+// value).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// viewFuncs are the view-producing call names this checker recognizes. The
+// match is syntactic (no type information): the name of the called function
+// or method, after stripping any generic instantiation and selector base.
+var viewFuncs = map[string]bool{
+	"LoadView":      true,
+	"LoadBlockView": true,
+	"View":          true,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		if strings.HasSuffix(a, "/...") {
+			root := strings.TrimSuffix(a, "/...")
+			if root == "." || root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "results") {
+						return filepath.SkipDir
+					}
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+
+	findings := 0
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			fatal(fmt.Errorf("%s: %w", dir, err))
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				findings += checkFile(fset, file)
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "leasevet: %d leaked view lease(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func checkFile(fset *token.FileSet, file *ast.File) int {
+	findings := 0
+	report := func(pos token.Pos, call *ast.CallExpr, how string) {
+		findings++
+		fmt.Fprintf(os.Stderr, "%s: result of %s %s: the view's lease is never closed\n",
+			fset.Position(pos), callName(call), how)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := viewCall(stmt.X); ok {
+				report(stmt.Pos(), call, "discarded")
+			}
+		case *ast.AssignStmt:
+			// One call on the RHS: its first result is the view. Multiple
+			// RHS values pair one-to-one with LHS names.
+			if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 0 {
+				if call, ok := viewCall(stmt.Rhs[0]); ok {
+					if id, isIdent := stmt.Lhs[0].(*ast.Ident); isIdent && id.Name == "_" {
+						report(stmt.Pos(), call, "assigned to _")
+					}
+				}
+			} else {
+				for i, rhs := range stmt.Rhs {
+					call, ok := viewCall(rhs)
+					if !ok || i >= len(stmt.Lhs) {
+						continue
+					}
+					if id, isIdent := stmt.Lhs[i].(*ast.Ident); isIdent && id.Name == "_" {
+						report(stmt.Pos(), call, "assigned to _")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if call, ok := viewCall(stmt.Call); ok {
+				report(stmt.Pos(), call, "discarded (go statement)")
+			}
+		case *ast.DeferStmt:
+			if call, ok := viewCall(stmt.Call); ok {
+				report(stmt.Pos(), call, "discarded (defer statement)")
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// viewCall reports whether e is a call of a view-producing function or
+// method.
+func viewCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	return call, viewFuncs[callName(call)]
+}
+
+// callName extracts the bare called name: the method or function identifier
+// with any package/receiver selector and generic instantiation stripped.
+func callName(call *ast.CallExpr) string {
+	fn := call.Fun
+	for {
+		switch f := fn.(type) {
+		case *ast.IndexExpr:
+			fn = f.X
+		case *ast.IndexListExpr:
+			fn = f.X
+		case *ast.SelectorExpr:
+			return f.Sel.Name
+		case *ast.Ident:
+			return f.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leasevet:", err)
+	os.Exit(1)
+}

@@ -44,7 +44,7 @@ func main() {
 		vars      = flag.Int("vars", 10, "number of 3-D rectangles")
 		runs      = flag.Int("runs", 1, "repetitions to average (the paper: 3)")
 		verify    = flag.Bool("verify", false, "verify every byte read back")
-		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel | readparallel | obs | integrity | async | pools")
+		ablation  = flag.String("ablation", "", "run an ablation instead: staging | layout | mapsync | serializer | fill | chunked | parallel | readparallel | obs | integrity | async | pools | views")
 		parallel  = flag.Int("parallel", 0, "per-rank copy workers for the pMEMCPY libraries (<=1: serial)")
 		readpar   = flag.Int("readparallel", 0, "per-rank gather workers for the pMEMCPY libraries (0: follow -parallel, 1: serial)")
 		pattern   = flag.String("pattern", "same", "read access pattern: same | restart | plane")
@@ -96,6 +96,8 @@ func main() {
 		results, err = runAsyncAblation(rankCounts, base)
 	case *ablation == "pools":
 		results, err = runPoolsAblation(rankCounts, base)
+	case *ablation == "views":
+		results, err = runViewsAblation(rankCounts, base)
 	case *ablation != "":
 		results, err = runAblation(*ablation, rankCounts, base)
 	default:
@@ -434,6 +436,19 @@ type named struct {
 }
 
 func (n named) Name() string { return n.name }
+
+// Configure forwards capability configuration to the wrapped library,
+// keeping the display name. This is the pitfall pio.Capabilities exists to
+// close: the old probe-per-interface protocol silently lost capabilities
+// behind wrappers like this one unless every interface was re-plumbed, so
+// harness configuration (worker pools, verified reads, async batching,
+// striping) never reached the inner library.
+func (n named) Configure(c pio.Capabilities) pio.Library {
+	if cz, ok := n.Library.(pio.Configurable); ok {
+		return named{cz.Configure(c), n.name}
+	}
+	return n
+}
 
 func parseProcs(s string) ([]int, error) {
 	var out []int

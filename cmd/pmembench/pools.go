@@ -137,10 +137,11 @@ func runPoolsAblation(rankCounts []int, base harness.Params) ([]harness.Result, 
 	p.Verify = true
 	p.Pools = 4
 	p.Parallelism = par
-	// The pool/worker config is baked into the literal: the named wrapper
-	// embeds the pio.Library interface, so Params capability assertions
-	// (pio.Poolable, pio.Parallelizable) do not see through it.
-	libs := []pio.Library{named{core.Library{Codec: "raw", Pools: 4, Parallelism: par}, "harness-pools4"}}
+	// Only the codec is baked into the literal; the pool and worker counts
+	// arrive through Params via pio.Configurable, which the named wrapper
+	// forwards — the configuration can no longer be silently swallowed the
+	// way the old per-interface probes were.
+	libs := []pio.Library{named{core.Library{Codec: "raw"}, "harness-pools4"}}
 	res, err := harness.Sweep(libs, rankCounts[:1], p)
 	if err != nil {
 		return all, fmt.Errorf("pools ablation harness parity: %w", err)

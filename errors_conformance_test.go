@@ -376,6 +376,102 @@ func TestErrorConformance(t *testing.T) {
 			want: pmemcpy.ErrCorrupt,
 		},
 		{
+			name: "LoadView missing id",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				v, err := pmemcpy.LoadView[float64](p, "missing", []uint64{0}, []uint64{4})
+				if v != nil {
+					v.Close()
+				}
+				return err
+			},
+			want: pmemcpy.ErrNotFound,
+		},
+		{
+			name: "LoadView wrong element type",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				v, err := pmemcpy.LoadView[float32](p, "arr", []uint64{0}, []uint64{16})
+				if v != nil {
+					v.Close()
+				}
+				return err
+			},
+			want: pmemcpy.ErrTypeMismatch,
+		},
+		{
+			name: "View data after Close",
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := pmemcpy.StoreSub(p, "arr", make([]float64, 16), []uint64{0}, []uint64{16}); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				v, err := pmemcpy.LoadView[float64](p, "arr", []uint64{0}, []uint64{16})
+				if err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := v.Close(); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				_, err = v.Data()
+				return err
+			},
+			want: pmemcpy.ErrStaleView,
+		},
+		{
+			// The staleness sentinel must survive pool routing like every
+			// other error class.
+			name:  "multi-pool View data after Close",
+			pools: 4,
+			opts:  []pmemcpy.MmapOption{pmemcpy.WithPools(4)},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := pmemcpy.StoreSub(p, "arr", make([]float64, 16), []uint64{0}, []uint64{16}); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				v, err := pmemcpy.LoadView[float64](p, "arr", []uint64{0}, []uint64{16})
+				if err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := v.Close(); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				_, err = v.Data()
+				return err
+			},
+			want: pmemcpy.ErrStaleView,
+		},
+		{
+			// ...and the async boundary: a view opened against a batching
+			// handle still fails fast once closed.
+			name: "async View data after Close",
+			opts: []pmemcpy.MmapOption{pmemcpy.WithAsync()},
+			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {
+				if err := pmemcpy.Alloc[float64](p, "arr", 16); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				fut := pmemcpy.StoreSubAsync(p, "arr", make([]float64, 16), []uint64{0}, []uint64{16})
+				v, err := pmemcpy.LoadView[float64](p, "arr", []uint64{0}, []uint64{16})
+				if err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := fut.Wait(context.Background()); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				if err := v.Close(); err != nil {
+					return fmt.Errorf("setup: %v", err)
+				}
+				_, err = v.Data()
+				return err
+			},
+			want: pmemcpy.ErrStaleView,
+		},
+		{
 			name: "parallel gather coverage gap",
 			opts: []pmemcpy.MmapOption{pmemcpy.WithReadParallelism(4)},
 			fn: func(p *pmemcpy.PMEM, _ *pmemcpy.Node) error {

@@ -67,6 +67,22 @@ func OfCopy[T Element](b []byte) []T {
 	return out
 }
 
+// TryOf reinterprets b as a slice of T without copying, reporting false
+// instead of panicking when b's length is not a multiple of T's size or its
+// base address is misaligned for T. Callers that can fall back to a copying
+// path (the zero-copy view layer) branch on it; callers holding an allocator
+// guarantee use Of and treat violation as the bug it is.
+func TryOf[T Element](b []byte) ([]T, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	es := Size[T]()
+	if len(b)%es != 0 || !Aligned[T](b) {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/es), true
+}
+
 // Of reinterprets b as a slice of T without copying. len(b) must be a
 // multiple of T's size and b must be aligned for T; both always hold for
 // buffers produced by this repository's allocators, which are 8-byte aligned.

@@ -145,6 +145,24 @@ func TestOfCopyHandlesMisalignment(t *testing.T) {
 	}
 }
 
+func TestTryOf(t *testing.T) {
+	if s, ok := TryOf[uint64](nil); !ok || s != nil {
+		t.Errorf("TryOf(nil) = (%v, %v), want (nil, true)", s, ok)
+	}
+	if _, ok := TryOf[uint64](make([]byte, 12)); ok {
+		t.Error("TryOf accepted a length not a multiple of the element size")
+	}
+	w := misalignedUint64(t, make([]byte, 17))
+	if _, ok := TryOf[uint64](w); ok {
+		t.Error("TryOf accepted a misaligned base")
+	}
+	vals := []uint64{0xCAFEBABE}
+	got, ok := TryOf[uint64](Bytes(vals))
+	if !ok || len(got) != 1 || &got[0] != &vals[0] {
+		t.Fatalf("TryOf aligned = (%v, %v), want aliasing view", got, ok)
+	}
+}
+
 func TestOfCopyAliasesWhenAligned(t *testing.T) {
 	vals := []uint64{42}
 	b := Bytes(vals)

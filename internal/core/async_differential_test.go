@@ -34,7 +34,7 @@ func runDiffAsync(ops []diffOp, backends []diffBackend, asyncIdx, stride int, de
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
 		handles := make([]*core.PMEM, len(backends))
 		for i, b := range backends {
-			p, err := core.Mmap(c, n, b.path, b.opts)
+			p, err := core.Mmap(c, n, b.path, core.OptionsArg(b.opts))
 			if err != nil {
 				return fmt.Errorf("mmap %s: %w", b.name, err)
 			}

@@ -85,12 +85,12 @@ func (p *PMEM) compact(ctx context.Context, id string) (int, error) {
 	for i, v := range victims {
 		victimIDs[i] = poolPMID{pool: v.pool, id: v.data}
 	}
-	if err := p.freeBlocks(victimIDs); err != nil {
+	// With zero-copy view leases open the victims park on the limbo lists
+	// instead of freeing (view.go): a view planned against the old block list
+	// keeps reading its blocks until the lease epoch drains.
+	if err := p.deferOrFreeBlocks(victimIDs); err != nil {
 		return 0, err
 	}
-	// Freed PMIDs may be reallocated to healthy blocks; dropping them from
-	// the quarantine keeps fail-fast reads from firing on reuse.
-	p.unquarantine(victimIDs)
 	return len(victims), nil
 }
 

@@ -43,7 +43,7 @@ func TestConcurrentStoreLoadDeleteModel(t *testing.T) {
 	varName := func(v int) string { return fmt.Sprintf("shared/v%d", v) }
 
 	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/stress.pool", opts)
+		p, err := core.Mmap(c, n, "/stress.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -164,7 +164,7 @@ func TestConcurrentCompactVsParallelGather(t *testing.T) {
 	opts := &core.Options{PoolSize: 256 << 20, ReadParallelism: 4, VerifyReads: core.VerifyFull}
 
 	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/race.pool", opts)
+		p, err := core.Mmap(c, n, "/race.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}

@@ -205,7 +205,26 @@ type shared struct {
 	parallelBlocks   atomic.Int64 // shard blocks written by the parallel path
 	parallelReads    atomic.Int64 // loads that took the parallel gather path
 	parallelReadJobs atomic.Int64 // gather jobs those loads executed
+
+	// Zero-copy view lease state (view.go). viewMu guards the epoch counter
+	// and the per-epoch open-lease counts; limbos holds one deferred-free
+	// arena per member pool (index-aligned with pools). viewActive shadows
+	// the total open-lease count and limboLen the total parked-block count so
+	// the no-views fast paths are single atomic loads. viewsInvalid is set by
+	// Munmap and fails every outstanding view fast with ErrStaleView.
+	viewMu       sync.Mutex
+	viewEpoch    uint64
+	viewLeases   map[uint64]int
+	limbos       []*pmdk.Limbo
+	viewActive   atomic.Int64
+	limboLen     atomic.Int64
+	viewLeaked   atomic.Int64
+	viewsInvalid atomic.Bool
 }
+
+// limboAt returns pool i's deferred-free arena (uniform over single- and
+// multi-pool handles, like poolAt).
+func (st *shared) limboAt(i int) *pmdk.Limbo { return st.limbos[i] }
 
 // Mmap opens (creating if necessary) the pMEMCPY store at path. It is
 // collective over c: all ranks must call it with the same arguments, just as
@@ -290,8 +309,13 @@ func openShared(c *mpi.Comm, n *node.Node, path string, o *Options) (*shared, er
 			scrubRate: o.ScrubRate,
 			quar:      make(map[poolPMID]struct{}),
 		}
+		// Hierarchy views are always fallback copies (no mapped block to
+		// alias), so the lease map stays empty — but it is initialized, and
+		// the gauges bridged, so the view API is uniform across layouts.
+		st.viewLeases = make(map[uint64]int)
 		st.ins.bridgeCache(st.cache)
 		st.ins.bridgeQuarantine(st)
+		st.ins.bridgeViews(st)
 		installTracer(o, n, st)
 		return st, nil
 	}
@@ -421,8 +445,16 @@ func finishHashtableShared(st *shared, o *Options, n *node.Node, clk *sim.Clock)
 	if err := st.loadQuarantine(clk); err != nil {
 		return nil, err
 	}
+	// Zero-copy view lease state: one deferred-free arena per member pool,
+	// index-aligned with pools (view.go).
+	st.viewLeases = make(map[uint64]int)
+	st.limbos = make([]*pmdk.Limbo, st.npools())
+	for i := range st.limbos {
+		st.limbos[i] = &pmdk.Limbo{}
+	}
 	st.ins.bridgeCache(st.cache)
 	st.ins.bridgeQuarantine(st)
+	st.ins.bridgeViews(st)
 	installTracer(o, n, st)
 	return st, nil
 }
@@ -605,6 +637,11 @@ func (p *PMEM) Munmap() error {
 	if err := p.comm.Barrier(); err != nil {
 		return err
 	}
+	// Every outstanding zero-copy view is now stale: the mapping it aliases
+	// is gone. Views fail fast with ErrStaleView from here on, and blocks
+	// still parked in limbo stay there — recoverable garbage, the same
+	// contract as a crash between an unlink and its free (view.go).
+	p.st.viewsInvalid.Store(true)
 	return derr
 }
 

@@ -44,7 +44,7 @@ func single(t *testing.T, opts *core.Options, fn func(p *core.PMEM) error) {
 	t.Helper()
 	n := newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/store.pool", opts)
+		p, err := core.Mmap(c, n, "/store.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -277,7 +277,7 @@ func TestReopenPersistedStore(t *testing.T) {
 func TestHierarchyCreatesDirectories(t *testing.T) {
 	n := newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/hier", &core.Options{Layout: core.LayoutHierarchy})
+		p, err := core.Mmap(c, n, "/hier", core.OptionsArg(&core.Options{Layout: core.LayoutHierarchy}))
 		if err != nil {
 			return err
 		}
@@ -315,7 +315,7 @@ func TestMapSyncSlowerThanNoSync(t *testing.T) {
 		n := newNode()
 		var elapsed int64
 		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/ms.pool", &core.Options{MapSync: mapSync})
+			p, err := core.Mmap(c, n, "/ms.pool", core.OptionsArg(&core.Options{MapSync: mapSync}))
 			if err != nil {
 				return err
 			}
@@ -345,7 +345,7 @@ func TestMapSyncSlowerThanNoSync(t *testing.T) {
 func TestUnknownCodecRejected(t *testing.T) {
 	n := newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		_, err := core.Mmap(c, n, "/bad.pool", &core.Options{Codec: "nope"})
+		_, err := core.Mmap(c, n, "/bad.pool", core.OptionsArg(&core.Options{Codec: "nope"}))
 		if err == nil {
 			t.Error("unknown codec accepted")
 		}

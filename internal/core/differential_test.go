@@ -354,7 +354,7 @@ func runDiff(ops []diffOp, backends []diffBackend, devSize int64, nodePools int)
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
 		handles := make([]*core.PMEM, len(backends))
 		for i, b := range backends {
-			p, err := core.Mmap(c, n, b.path, b.opts)
+			p, err := core.Mmap(c, n, b.path, core.OptionsArg(b.opts))
 			if err != nil {
 				return fmt.Errorf("mmap %s: %w", b.name, err)
 			}

@@ -33,4 +33,8 @@ var (
 	// previously quarantined by the scrubber. The wrapping error identifies
 	// the id, block, and pool offset.
 	ErrCorrupt = errors.New("data corruption detected")
+	// ErrStaleView reports an access through a zero-copy view whose lease is
+	// no longer valid: the view was closed, or the handle group it was taken
+	// on has been unmapped (Munmap invalidates every outstanding view).
+	ErrStaleView = errors.New("stale view")
 )

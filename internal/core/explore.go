@@ -171,6 +171,16 @@ func (s *Script) defaults() {
 	}
 }
 
+// mmapOpts adapts the script's optional *Options into Mmap's functional-
+// option surface (extra options compose after it).
+func (s *Script) mmapOpts(extra ...MmapOption) []MmapOption {
+	var opts []MmapOption
+	if s.Options != nil {
+		opts = append(opts, optionsOption(*s.Options))
+	}
+	return append(opts, extra...)
+}
+
 // newNode builds the deterministic simulation node every pass runs on. When
 // the script's Options ask for a sharded namespace, the node carries one
 // device per member pool; they share one fault domain, so persist ordinals,
@@ -240,7 +250,7 @@ func TraceScript(s Script) ([]pmem.TraceEvent, error) {
 	n := s.newNode()
 	var events []pmem.TraceEvent
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := Mmap(c, n, s.Path, s.Options)
+		p, err := Mmap(c, n, s.Path, s.mmapOpts()...)
 		if err != nil {
 			return err
 		}
@@ -299,7 +309,7 @@ func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *r
 	var out simOutcome
 	n := s.newNode()
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := Mmap(c, n, s.Path, s.Options)
+		p, err := Mmap(c, n, s.Path, s.mmapOpts()...)
 		if err != nil {
 			return err
 		}
@@ -335,7 +345,7 @@ func (s *Script) crashSim(op int64, mode pmem.CrashMode, tearSeed uint64, rng *r
 	// verification — so a torn block that made it into published state is
 	// DETECTED (ErrCorrupt) rather than decoded into silently wrong values.
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := Mmap(c, n, s.Path, s.Options, WithVerifyReads(VerifyFull))
+		p, err := Mmap(c, n, s.Path, s.mmapOpts(WithVerifyReads(VerifyFull))...)
 		if err != nil {
 			return fmt.Errorf("reopening store: %w", err)
 		}

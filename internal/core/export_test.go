@@ -1,0 +1,12 @@
+package core
+
+// OptionsArg surfaces the unexported whole-struct option adapter to the
+// external test package: many tests resolve a complete Options value up
+// front, and converting each to a chain of With* calls would only obscure
+// what configuration is under test. Compiled into test binaries only.
+func OptionsArg(o *Options) MmapOption {
+	if o == nil {
+		return optionsOption(Options{})
+	}
+	return optionsOption(*o)
+}

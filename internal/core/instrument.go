@@ -37,6 +37,7 @@ const (
 	opLoadDatum
 	opStoreBlock
 	opLoadBlock
+	opLoadView
 	nOps
 )
 
@@ -48,6 +49,7 @@ var opNames = [nOps]string{
 	opLoadDatum:  "load_datum",
 	opStoreBlock: "store_block",
 	opLoadBlock:  "load_block",
+	opLoadView:   "load_view",
 }
 
 // pathSerial/pathParallel index the per-path instrument slots.
@@ -108,6 +110,14 @@ type instruments struct {
 	asyncBatchOps     *obs.Histogram
 	asyncBatchBytes   *obs.Histogram
 	asyncBatchLat     *obs.Histogram
+
+	// Zero-copy view series (view.go). The zero_copy/fallback pair makes the
+	// aliasing ratio observable (E18 reports it); deferred/reclaimed count
+	// blocks through the limbo lists.
+	viewZero      *obs.Counter
+	viewFallback  *obs.Counter
+	viewDeferred  *obs.Counter
+	viewReclaimed *obs.Counter
 }
 
 // newInstruments builds the registry for one handle group. pool is nil for
@@ -121,11 +131,12 @@ func newInstruments(o *Options, n *node.Node, pool *pmdk.Pool) *instruments {
 	reg := in.reg
 	for op := 0; op < nOps; op++ {
 		for pa := 0; pa < nPaths; pa++ {
-			// Only block/datum stores and block loads have a parallel path;
+			// Only block/datum stores, block loads, and view loads (whose
+			// fallback gathers can run parallel) have a parallel path;
 			// registering the serial slot alone keeps the exposition free of
 			// always-zero series.
 			if pa == pathParallel &&
-				op != opStoreDatum && op != opStoreBlock && op != opLoadBlock {
+				op != opStoreDatum && op != opStoreBlock && op != opLoadBlock && op != opLoadView {
 				in.ops[op][pa] = in.ops[op][pathSerial]
 				continue
 			}
@@ -177,6 +188,15 @@ func newInstruments(o *Options, n *node.Node, pool *pmdk.Pool) *instruments {
 		"encoded bytes per block written by async group commits")
 	in.asyncBatchLat = reg.Histogram("pmemcpy_async_batch_latency_ns",
 		"virtual ns per committed async batch")
+
+	in.viewZero = reg.Counter("pmemcpy_view_zero_copy_total",
+		"view loads served zero-copy (aliasing mapped pool bytes)")
+	in.viewFallback = reg.Counter("pmemcpy_view_fallback_total",
+		"view loads served by the copying fallback planner")
+	in.viewDeferred = reg.Counter("pmemcpy_view_deferred_frees_total",
+		"blocks parked on the limbo lists because view leases were open")
+	in.viewReclaimed = reg.Counter("pmemcpy_view_reclaimed_total",
+		"limbo blocks freed after their lease epoch drained")
 
 	dev := n.Device
 	reg.CounterFunc("pmemcpy_device_persists_total", "successful device persists",
@@ -237,6 +257,18 @@ func (in *instruments) bridgeCache(c *blockCache) {
 func (in *instruments) bridgeQuarantine(st *shared) {
 	in.reg.GaugeFunc("pmemcpy_quarantined_blocks", "blocks currently on the quarantine list",
 		st.quarLen.Load)
+}
+
+// bridgeViews registers the view-lease gauges (split from construction like
+// bridgeQuarantine: the shared struct holding the lease state is built after
+// the instruments).
+func (in *instruments) bridgeViews(st *shared) {
+	in.reg.GaugeFunc("pmemcpy_view_active_leases", "zero-copy view leases currently open",
+		st.viewActive.Load)
+	in.reg.GaugeFunc("pmemcpy_view_limbo_blocks", "blocks parked on the deferred-free limbo lists",
+		st.limboLen.Load)
+	in.reg.CounterFunc("pmemcpy_view_leaked_total", "views garbage-collected without Close (their leases pin limbo forever)",
+		st.viewLeaked.Load)
 }
 
 // bridgeAsync registers the async queue-depth gauge (split from construction

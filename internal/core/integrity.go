@@ -114,7 +114,13 @@ func (p *PMEM) verifySlice(id string, blk pmdk.PMID, src []byte, want uint32) er
 // verification every distinct source block's CRC is recomputed. Runs under
 // the id's read lock, so no block can be freed mid-check.
 func (p *PMEM) precheckJobs(id string, jobs []copyJob) error {
-	verify := p.shouldVerify()
+	return p.precheckJobsVerify(id, jobs, p.shouldVerify())
+}
+
+// precheckJobsVerify is precheckJobs with the verification decision made by
+// the caller — the view path (view.go) draws it once before choosing between
+// zero-copy and fallback so a sampled-mode view consumes exactly one tick.
+func (p *PMEM) precheckJobsVerify(id string, jobs []copyJob, verify bool) error {
 	seen := make(map[poolPMID]bool, len(jobs))
 	for _, job := range jobs {
 		b := job.src

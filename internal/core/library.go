@@ -79,37 +79,78 @@ func (l Library) options() *Options {
 	}
 }
 
+// Configure implements pio.Configurable: it applies the set fields of c on
+// top of the literal's configuration (codec, layout, pool size, ...), which
+// zero-valued fields leave untouched. This is the supported way for the
+// harness to enable features; the per-feature With* methods below are
+// deprecated shims over it.
+func (l Library) Configure(c pio.Capabilities) pio.Library {
+	if c.Parallelism != 0 {
+		l.Parallelism = c.Parallelism
+	}
+	if c.ReadParallelism != 0 {
+		l.ReadParallelism = c.ReadParallelism
+	}
+	if c.Metrics {
+		l.Metrics = true
+	}
+	if c.VerifyReads != 0 {
+		l.VerifyReads = VerifyMode(c.VerifyReads)
+	}
+	if c.Async {
+		l.Async = true
+		l.CoalesceWindow = c.CoalesceWindow
+		l.MaxInflight = c.MaxInflight
+	}
+	if c.Pools > 1 {
+		l.Pools = c.Pools
+	}
+	return l
+}
+
 // WithPools implements pio.Poolable.
+//
+// Deprecated: use Configure.
 func (l Library) WithPools(n int) pio.Library {
 	l.Pools = n
 	return l
 }
 
 // WithParallelism implements pio.Parallelizable.
+//
+// Deprecated: use Configure.
 func (l Library) WithParallelism(p int) pio.Library {
 	l.Parallelism = p
 	return l
 }
 
 // WithReadParallelism implements pio.ReadParallelizable.
+//
+// Deprecated: use Configure.
 func (l Library) WithReadParallelism(p int) pio.Library {
 	l.ReadParallelism = p
 	return l
 }
 
 // WithMetrics implements pio.Instrumentable.
+//
+// Deprecated: use Configure.
 func (l Library) WithMetrics() pio.Library {
 	l.Metrics = true
 	return l
 }
 
 // WithVerifyReads implements pio.Verifiable.
+//
+// Deprecated: use Configure.
 func (l Library) WithVerifyReads(mode int) pio.Library {
 	l.VerifyReads = VerifyMode(mode)
 	return l
 }
 
 // WithAsync implements pio.Asyncable.
+//
+// Deprecated: use Configure.
 func (l Library) WithAsync(window, inflight int) pio.Library {
 	l.Async = true
 	l.CoalesceWindow = window
@@ -119,7 +160,7 @@ func (l Library) WithAsync(window, inflight int) pio.Library {
 
 // OpenWrite implements pio.Library.
 func (l Library) OpenWrite(c *mpi.Comm, n *node.Node, path string) (pio.Writer, error) {
-	p, err := Mmap(c, n, path, l.options())
+	p, err := Mmap(c, n, path, optionsOption(*l.options()))
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +169,7 @@ func (l Library) OpenWrite(c *mpi.Comm, n *node.Node, path string) (pio.Writer, 
 
 // OpenRead implements pio.Library.
 func (l Library) OpenRead(c *mpi.Comm, n *node.Node, path string) (pio.Reader, error) {
-	p, err := Mmap(c, n, path, l.options())
+	p, err := Mmap(c, n, path, optionsOption(*l.options()))
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +197,11 @@ func (s *session) DefineVar(v pio.Var) error {
 // returns nil).
 func (s *session) Write(name string, offs, counts []uint64, data []byte) error {
 	if s.p.AsyncEnabled() {
-		s.p.StoreBlockAsync(name, offs, counts, data)
+		// pio.Writer lets the caller reuse data once Write returns, but a
+		// queued submission reads its buffer at commit time — snapshot it.
+		// (StoreBlockAsync's own contract pins the buffer until the Future
+		// completes; that contract cannot be pushed through pio.)
+		s.p.StoreBlockAsync(name, offs, counts, append([]byte(nil), data...))
 		return nil
 	}
 	return s.p.StoreBlock(name, offs, counts, data)
@@ -186,6 +231,7 @@ var (
 	_ pio.Reader             = (*session)(nil)
 	_ pio.Instrumented       = (*session)(nil)
 	_ pio.Library            = Library{}
+	_ pio.Configurable       = Library{}
 	_ pio.Parallelizable     = Library{}
 	_ pio.ReadParallelizable = Library{}
 	_ pio.Instrumentable     = Library{}

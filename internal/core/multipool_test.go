@@ -44,7 +44,7 @@ func multi(t *testing.T, pools int, opts *core.Options, fn func(p *core.PMEM) er
 	opts.Pools = pools
 	n := multiNode(pools, 64<<20, 1)
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/multi.pool", opts)
+		p, err := core.Mmap(c, n, "/multi.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -160,7 +160,7 @@ func TestMultiPoolReopen(t *testing.T) {
 	n := multiNode(4, 64<<20, 1)
 	opts := &core.Options{Pools: 4, Codec: "raw", Parallelism: 4}
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/reopen.pool", opts)
+		p, err := core.Mmap(c, n, "/reopen.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -183,7 +183,7 @@ func TestMultiPoolReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/reopen.pool", opts)
+		p, err := core.Mmap(c, n, "/reopen.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -232,7 +232,7 @@ func TestMultiPoolConfigErrors(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			n := multiNode(tc.devices, 32<<20, 1)
 			_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-				_, merr := core.Mmap(c, n, "/bad.pool", tc.opts)
+				_, merr := core.Mmap(c, n, "/bad.pool", core.OptionsArg(tc.opts))
 				if merr == nil {
 					return fmt.Errorf("Mmap accepted %+v on a %d-device node", tc.opts, tc.devices)
 				}
@@ -258,7 +258,7 @@ func TestMultiPoolQuarantine(t *testing.T) {
 	opts := &core.Options{Pools: 4}
 	var victim string
 	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/quar.pool", opts)
+		p, err := core.Mmap(c, n, "/quar.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -298,7 +298,7 @@ func TestMultiPoolQuarantine(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/quar.pool", opts)
+		p, err := core.Mmap(c, n, "/quar.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}
@@ -443,7 +443,7 @@ func TestExploreMultiPoolSetCommit(t *testing.T) {
 	tn := multiNode(pools, devSize, 1)
 	tn.Device.StartTrace()
 	_, err := mpi.Run(tn.Machine, 1, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, tn, path, opts())
+		p, err := core.Mmap(c, tn, path, core.OptionsArg(opts()))
 		if err != nil {
 			return err
 		}
@@ -505,7 +505,7 @@ func TestExploreMultiPoolSetCommit(t *testing.T) {
 			n := multiNode(pools, devSize, 1)
 			n.Device.ArmCrashAtOp(k, v.tearSeed)
 			_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-				p, merr := core.Mmap(c, n, path, opts())
+				p, merr := core.Mmap(c, n, path, core.OptionsArg(opts()))
 				if merr != nil {
 					return merr
 				}
@@ -519,7 +519,7 @@ func TestExploreMultiPoolSetCommit(t *testing.T) {
 			// Recovery: the reopened namespace must be empty (it either never
 			// published, or published with nothing stored) and fully usable.
 			_, err = mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-				p, merr := core.Mmap(c, n, path, opts())
+				p, merr := core.Mmap(c, n, path, core.OptionsArg(opts()))
 				if merr != nil {
 					return fmt.Errorf("reopen after crash: %w", merr)
 				}
@@ -602,7 +602,7 @@ func TestConcurrentMultiPoolStress(t *testing.T) {
 	varName := func(v int) string { return fmt.Sprintf("stress/v%d", v) }
 
 	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/stress.pool", opts)
+		p, err := core.Mmap(c, n, "/stress.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}

@@ -142,7 +142,7 @@ func TestTraceAttribution(t *testing.T) {
 	n := newNode()
 	var spans []obs.Span
 	_, err := mpi.Run(n.Machine, 2, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/trace.pool", &core.Options{Tracing: true})
+		p, err := core.Mmap(c, n, "/trace.pool", core.OptionsArg(&core.Options{Tracing: true}))
 		if err != nil {
 			return err
 		}

@@ -1,26 +1,21 @@
 package core
 
-// MmapOption configures Mmap. The functional options below are the
+// MmapOption configures Mmap. The functional options below are the only
 // configuration surface: each touches one field, and options apply in
-// argument order. A *Options struct also implements the interface as a
-// deprecated compatibility shim — see ApplyMmapOption.
+// argument order. (The v1 pass-a-*Options shim was removed in v2 — it
+// overwrote every field, so it could not compose with options placed before
+// it; build an Options value and use the With* equivalents instead.)
 type MmapOption interface {
 	ApplyMmapOption(*Options)
 }
 
-// ApplyMmapOption makes *Options itself an MmapOption: the whole struct is
-// the configuration. A nil *Options (the historical "defaults please"
-// argument) applies nothing.
-//
-// Deprecated: the struct form is a thin shim kept so v1 call sites compile
-// unchanged; it overwrites every field, so it cannot compose with other
-// options placed before it. New code should pass functional options
-// (WithCodec, WithParallelism, WithAsync, ...) instead.
-func (o *Options) ApplyMmapOption(dst *Options) {
-	if o != nil {
-		*dst = *o
-	}
-}
+// optionsOption adapts a whole Options value into an MmapOption for internal
+// callers that resolve a complete configuration before mapping (Library,
+// explorer scripts). Unlike the removed public shim it is applied first and
+// deliberately unexported: the public surface composes field-wise options.
+type optionsOption Options
+
+func (o optionsOption) ApplyMmapOption(dst *Options) { *dst = Options(o) }
 
 // mmapOptionFunc adapts a field mutator into an MmapOption.
 type mmapOptionFunc func(*Options)

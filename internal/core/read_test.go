@@ -51,7 +51,7 @@ func TestLoadBlockParallelMatchesSerial(t *testing.T) {
 	run := func(opts *core.Options, fn func(p *core.PMEM) error) {
 		t.Helper()
 		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/rp.pool", opts)
+			p, err := core.Mmap(c, n, "/rp.pool", core.OptionsArg(opts))
 			if err != nil {
 				return err
 			}
@@ -218,7 +218,7 @@ func TestConcurrentLoadVsStore(t *testing.T) {
 	}
 
 	_, err := mpi.Run(n.Machine, ranks, func(c *mpi.Comm) error {
-		p, err := core.Mmap(c, n, "/race.pool", opts)
+		p, err := core.Mmap(c, n, "/race.pool", core.OptionsArg(opts))
 		if err != nil {
 			return err
 		}

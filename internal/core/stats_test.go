@@ -126,7 +126,7 @@ func TestStatsQueriesCheaperThanScan(t *testing.T) {
 		n := newNode()
 		var dt time.Duration
 		_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
-			p, err := core.Mmap(c, n, "/stats.pool", &core.Options{Codec: codec})
+			p, err := core.Mmap(c, n, "/stats.pool", core.OptionsArg(&core.Options{Codec: codec}))
 			if err != nil {
 				return err
 			}

@@ -84,15 +84,15 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 		return existed, err
 	}
 	if len(owned) > 0 {
-		// Striped blocks free in their owning pools: one transaction per
-		// touched pool, in ascending pool order so the persist sequence is
-		// deterministic for the crash explorer.
-		if err := p.freeBlocks(owned); err != nil {
+		// Striped blocks free in their owning pools — or, with zero-copy view
+		// leases open, park on the limbo lists until the lease epoch drains
+		// (view.go). Either way the persist sequence stays deterministic for
+		// the crash explorer: frees run one transaction per touched pool in
+		// ascending pool order, and with no leases open the path is
+		// bit-identical to the pre-view behaviour.
+		if err := p.deferOrFreeBlocks(owned); err != nil {
 			return false, err
 		}
-		// Freed PMIDs may be reallocated to healthy blocks; dropping them
-		// from the quarantine keeps fail-fast reads from firing on reuse.
-		p.unquarantine(owned)
 	}
 	return true, nil
 }
@@ -525,10 +525,19 @@ func (p *PMEM) loadBlock(id string, offs, counts []uint64, dst []byte) (int64, b
 	if err := p.precheckJobs(id, jobs); err != nil {
 		return 0, false, err
 	}
+	parallel, err := p.executeGather(jobs, offs, counts, dst, esize, covered)
+	return covered, parallel, err
+}
+
+// executeGather runs a planned gather into dst, choosing the parallel engine
+// for large non-overlapping plans on a handle with read workers. It reports
+// which engine ran so the caller can label the op's instrumentation path.
+// Callers hold the id's read lock and have already passed precheckJobs.
+func (p *PMEM) executeGather(jobs []copyJob, offs, counts []uint64, dst []byte, esize int, covered int64) (bool, error) {
 	if p.readParallelEligible(covered) && !jobsOverlap(jobs) {
-		return covered, true, p.loadJobsParallel(jobs, offs, counts, dst, esize, covered)
+		return true, p.loadJobsParallel(jobs, offs, counts, dst, esize, covered)
 	}
-	return covered, false, p.loadJobsSerial(jobs, offs, counts, dst, esize)
+	return false, p.loadJobsSerial(jobs, offs, counts, dst, esize)
 }
 
 // loadBlockList reads and decodes the block list stored under id.

@@ -103,36 +103,7 @@ func Run(lib pio.Library, p Params) (Result, error) {
 	if p.Runs <= 0 {
 		p.Runs = 1
 	}
-	if p.Parallelism > 1 {
-		if pz, ok := lib.(pio.Parallelizable); ok {
-			lib = pz.WithParallelism(p.Parallelism)
-		}
-	}
-	if p.ReadParallelism != 0 {
-		if rp, ok := lib.(pio.ReadParallelizable); ok {
-			lib = rp.WithReadParallelism(p.ReadParallelism)
-		}
-	}
-	if p.Metrics {
-		if iz, ok := lib.(pio.Instrumentable); ok {
-			lib = iz.WithMetrics()
-		}
-	}
-	if p.VerifyReads != 0 {
-		if vz, ok := lib.(pio.Verifiable); ok {
-			lib = vz.WithVerifyReads(p.VerifyReads)
-		}
-	}
-	if p.Async {
-		if az, ok := lib.(pio.Asyncable); ok {
-			lib = az.WithAsync(p.CoalesceWindow, p.MaxInflight)
-		}
-	}
-	if p.Pools > 1 {
-		if pl, ok := lib.(pio.Poolable); ok {
-			lib = pl.WithPools(p.Pools)
-		}
-	}
+	lib = configure(lib, p)
 	res := Result{Library: lib.Name(), Ranks: p.Ranks}
 	for i := 0; i < p.Runs; i++ {
 		one, err := runOnce(lib, p)
@@ -148,6 +119,63 @@ func Run(lib pio.Library, p Params) (Result, error) {
 	res.Write /= time.Duration(p.Runs)
 	res.Read /= time.Duration(p.Runs)
 	return res, nil
+}
+
+// configure applies the run parameters' optional capabilities to the library.
+// The supported path is one pio.Configurable call: wrappers forward Configure
+// explicitly, so a library's capabilities cannot be hidden by an embedding
+// wrapper the way the old per-feature type assertions were (every wrapped
+// assertion silently failed and the run measured an unconfigured store).
+// Libraries that predate Configurable fall back to the deprecated probes.
+func configure(lib pio.Library, p Params) pio.Library {
+	caps := pio.Capabilities{
+		ReadParallelism: p.ReadParallelism,
+		Metrics:         p.Metrics,
+		VerifyReads:     p.VerifyReads,
+		Async:           p.Async,
+		Pools:           p.Pools,
+	}
+	if p.Parallelism > 1 {
+		caps.Parallelism = p.Parallelism
+	}
+	if p.Async {
+		caps.CoalesceWindow = p.CoalesceWindow
+		caps.MaxInflight = p.MaxInflight
+	}
+	if cz, ok := lib.(pio.Configurable); ok {
+		return cz.Configure(caps)
+	}
+	if caps.Parallelism > 1 {
+		if pz, ok := lib.(pio.Parallelizable); ok {
+			lib = pz.WithParallelism(caps.Parallelism)
+		}
+	}
+	if caps.ReadParallelism != 0 {
+		if rp, ok := lib.(pio.ReadParallelizable); ok {
+			lib = rp.WithReadParallelism(caps.ReadParallelism)
+		}
+	}
+	if caps.Metrics {
+		if iz, ok := lib.(pio.Instrumentable); ok {
+			lib = iz.WithMetrics()
+		}
+	}
+	if caps.VerifyReads != 0 {
+		if vz, ok := lib.(pio.Verifiable); ok {
+			lib = vz.WithVerifyReads(caps.VerifyReads)
+		}
+	}
+	if caps.Async {
+		if az, ok := lib.(pio.Asyncable); ok {
+			lib = az.WithAsync(caps.CoalesceWindow, caps.MaxInflight)
+		}
+	}
+	if caps.Pools > 1 {
+		if pl, ok := lib.(pio.Poolable); ok {
+			lib = pl.WithPools(caps.Pools)
+		}
+	}
+	return lib
 }
 
 func runOnce(lib pio.Library, p Params) (Result, error) {

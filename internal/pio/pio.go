@@ -70,11 +70,59 @@ type Library interface {
 	OpenRead(c *mpi.Comm, n *node.Node, path string) (Reader, error)
 }
 
+// Capabilities is the full set of optional features a harness run may ask a
+// library to enable. Zero values mean "leave the library's own default": a
+// library's Configure applies only the fields that are set, so a Capabilities
+// built straight from harness parameters composes with configuration already
+// baked into the library literal.
+//
+// It replaces the per-feature assertion interfaces below (Parallelizable,
+// Poolable, Asyncable, ...): probing by type assertion silently failed
+// through wrappers that embedded a Library without re-implementing every
+// With* method — a wrapper like pmembench's named{} would hide the
+// capabilities of the library it wrapped and the run would quietly measure an
+// unconfigured store. A single Configure method forwards through wrappers
+// explicitly, so hiding a capability now requires writing code to do it.
+type Capabilities struct {
+	// Parallelism is the per-rank write copy-engine worker count
+	// (0: library default; 1: serial).
+	Parallelism int
+	// ReadParallelism is the gather (read) engine worker count
+	// (0: follow Parallelism; 1: serial reads).
+	ReadParallelism int
+	// Metrics enables latency/shape histogram recording on sessions.
+	Metrics bool
+	// VerifyReads selects read-path checksum verification:
+	// 0 = off, 1 = sampled, 2 = full.
+	VerifyReads int
+	// Async routes writes through the asynchronous submission pipeline;
+	// CoalesceWindow and MaxInflight tune it (0 selects library defaults).
+	Async          bool
+	CoalesceWindow int
+	MaxInflight    int
+	// Pools shards the namespace across n member pools (0 or 1: single pool).
+	// The node driving the session must carry a matching device per pool.
+	Pools int
+}
+
+// Configurable is implemented by libraries that accept a Capabilities set.
+// Configure returns a copy of the library with the set fields applied; it
+// must leave fields at their zero value untouched so literal-level
+// configuration (codec, layout, ...) survives. Wrappers embedding a Library
+// should implement Configure by forwarding to the wrapped value.
+type Configurable interface {
+	Library
+	Configure(c Capabilities) Library
+}
+
 // Parallelizable is implemented by libraries whose writes can fan out over
 // worker goroutines within one rank (pMEMCPY's sharded copy engine).
 // WithParallelism returns a copy of the library configured to use p workers
 // per rank; p <= 1 restores the serial path. The harness uses it to run the
 // paper's procs sweep as a goroutine sweep.
+//
+// Deprecated: implement Configurable instead; the per-feature assertion
+// interfaces are kept for one release so external libraries keep working.
 type Parallelizable interface {
 	Library
 	WithParallelism(p int) Library
@@ -84,6 +132,8 @@ type Parallelizable interface {
 // worker goroutines within one rank (pMEMCPY's gather engine).
 // WithReadParallelism returns a copy configured to use p gather workers per
 // rank; p == 1 forces serial reads and p == 0 follows the write parallelism.
+//
+// Deprecated: implement Configurable instead.
 type ReadParallelizable interface {
 	Library
 	WithReadParallelism(p int) Library
@@ -100,6 +150,8 @@ type Instrumented interface {
 // latency/shape histograms on demand. WithMetrics returns a copy of the
 // library whose sessions have histogram recording enabled; counters are
 // always on regardless.
+//
+// Deprecated: implement Configurable instead.
 type Instrumentable interface {
 	Library
 	WithMetrics() Library
@@ -109,6 +161,8 @@ type Instrumentable interface {
 // checksums against the medium (pMEMCPY's integrity layer). WithVerifyReads
 // returns a copy configured with the given verification mode: 0 = off,
 // 1 = sampled, 2 = full. The harness uses it for the integrity ablation.
+//
+// Deprecated: implement Configurable instead.
 type Verifiable interface {
 	Library
 	WithVerifyReads(mode int) Library
@@ -120,6 +174,8 @@ type Verifiable interface {
 // n <= 1 restores the classic single-pool store. The node driving the session
 // must carry a matching device per pool (node.WithPMEMPools). The harness
 // uses it for the multi-pool ablation (E17).
+//
+// Deprecated: implement Configurable instead.
 type Poolable interface {
 	Library
 	WithPools(n int) Library
@@ -132,6 +188,8 @@ type Poolable interface {
 // queued (0 selects the library defaults); the session's Close drains the
 // queue, so a closed session's data is durable. The harness uses it for the
 // coalescing ablation (E16).
+//
+// Deprecated: implement Configurable instead.
 type Asyncable interface {
 	Library
 	WithAsync(window, inflight int) Library

@@ -132,11 +132,11 @@ func Run(n *Node, ranks int, fn func(*Comm) error) ([]time.Duration, error) {
 // PMEM is the library handle (the paper's pmemcpy::PMEM object).
 type PMEM = core.PMEM
 
-// Options configures Mmap; the zero value gives the paper's evaluated
-// configuration: BP4 serialization, hashtable layout, MAP_SYNC off. It is
-// the v1 carrier struct kept for compatibility — new code should pass the
-// functional options (WithCodec, WithParallelism, WithMetrics, ...) to Mmap
-// instead.
+// Options is the configuration carrier struct; the zero value gives the
+// paper's evaluated configuration: BP4 serialization, hashtable layout,
+// MAP_SYNC off. Since v2 it is no longer accepted by Mmap directly — pass the
+// functional options (WithCodec, WithParallelism, WithMetrics, ...) instead,
+// each of which sets one of its fields.
 type Options = core.Options
 
 // Layout selects the data layout.
@@ -178,11 +178,15 @@ var (
 	// quarantined by the scrubber. The error text identifies the id, block,
 	// and pool offset.
 	ErrCorrupt = core.ErrCorrupt
+	// ErrStaleView reports an access through a zero-copy view whose lease is
+	// no longer valid: the view was closed, or the handle group it was taken
+	// on has been unmapped (Munmap invalidates every outstanding view).
+	ErrStaleView = core.ErrStaleView
 )
 
-// MmapOption configures Mmap. A *Options struct is itself an MmapOption (the
-// original configuration surface), and the With* functional options below
-// each adjust one field; options apply in argument order.
+// MmapOption configures Mmap. The With* functional options below each adjust
+// one configuration field; options apply in argument order. (The v1
+// pass-a-*Options form was removed in v2.)
 type MmapOption = core.MmapOption
 
 // Functional Mmap options, re-exported from the core.
@@ -271,9 +275,8 @@ type Span = obs.Span
 
 // Mmap opens (creating if necessary) the pMEMCPY store at path. Collective:
 // every rank calls it with the same arguments. Configuration is optional —
-// pass nothing for the paper's evaluated defaults, a *Options struct (the
-// historical surface; nil is accepted and means defaults), or any combination
-// of functional options:
+// pass nothing for the paper's evaluated defaults, or any combination of
+// functional options (applied in argument order):
 //
 //	pm, err := pmemcpy.Mmap(c, n, "/data.pool",
 //		pmemcpy.WithMapSync(), pmemcpy.WithParallelism(8))
@@ -352,21 +355,15 @@ func Load[T Scalar](p *PMEM, id string) (T, error) {
 	return vals[0], nil
 }
 
-// StoreString persists a string under id.
+// StoreString persists a string under id (equivalent to p.StoreString).
 func StoreString(p *PMEM, id, s string) error {
-	return p.StoreDatum(id, &serial.Datum{Type: serial.String, Payload: []byte(s)})
+	return p.StoreString(id, s)
 }
 
-// LoadString reads back a string stored with StoreString.
+// LoadString reads back a string stored with StoreString (equivalent to
+// p.LoadString).
 func LoadString(p *PMEM, id string) (string, error) {
-	d, err := p.LoadDatum(id)
-	if err != nil {
-		return "", err
-	}
-	if d.Type != serial.String {
-		return "", fmt.Errorf("pmemcpy: id %q holds %v, not a string: %w", id, d.Type, ErrTypeMismatch)
-	}
-	return string(d.Payload), nil
+	return p.LoadString(id)
 }
 
 // Alloc declares the final global dimensions of array id
@@ -505,26 +502,17 @@ func FindBlocks(p *PMEM, id string, lo, hi float64) ([]BlockStats, error) {
 // nesting, dynamically sized slices, fixed arrays and strings — under id.
 // This covers the two things the paper notes HDF5 compound types cannot
 // express: nested compound types and dynamically sized arrays. v may be a
-// struct or a pointer to one; only exported fields are stored.
+// struct or a pointer to one; only exported fields are stored. Equivalent to
+// p.StoreStruct.
 func StoreStruct(p *PMEM, id string, v any) error {
-	raw, err := serial.MarshalStruct(v)
-	if err != nil {
-		return err
-	}
-	return p.StoreDatum(id, &serial.Datum{Type: serial.Bytes, Payload: raw})
+	return p.StoreStruct(id, v)
 }
 
 // LoadStruct reads a structured value stored with StoreStruct into out,
 // which must be a non-nil pointer to a struct. Fields are matched by name:
 // unknown fields in the data are skipped and missing ones keep their current
-// values, so readers and writers may evolve independently.
+// values, so readers and writers may evolve independently. Equivalent to
+// p.LoadStruct.
 func LoadStruct(p *PMEM, id string, out any) error {
-	d, err := p.LoadDatum(id)
-	if err != nil {
-		return err
-	}
-	if d.Type != serial.Bytes {
-		return fmt.Errorf("pmemcpy: id %q holds %v, not a structured value: %w", id, d.Type, ErrTypeMismatch)
-	}
-	return serial.UnmarshalStruct(d.Payload, out)
+	return p.LoadStruct(id, out)
 }

@@ -129,9 +129,10 @@ func TestSentinelsAcrossAPI(t *testing.T) {
 	})
 }
 
-// TestMmapFunctionalOptions checks the three Mmap calling conventions
-// compile and agree: no options, the historical *Options (including nil),
-// and functional options.
+// TestMmapFunctionalOptions checks the v2 Mmap calling conventions compile
+// and agree: no options, and functional options composing in argument order.
+// (The v1 pass-a-*Options shim was removed; functional options are the only
+// configuration path.)
 func TestMmapFunctionalOptions(t *testing.T) {
 	n := newNode()
 	_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
@@ -159,23 +160,100 @@ func TestMmapFunctionalOptions(t *testing.T) {
 		if err := p.Munmap(); err != nil {
 			return err
 		}
-		// Historical surface: a nil *Options means defaults; a struct and a
-		// trailing functional option compose, options applying in order.
-		p, err = pmemcpy.Mmap(c, n, "/fo3.pool", (*pmemcpy.Options)(nil),
-			pmemcpy.WithPoolSize(8<<20))
-		if err != nil {
-			return err
-		}
-		if err := p.Munmap(); err != nil {
-			return err
-		}
-		p, err = pmemcpy.Mmap(c, n, "/fo4.pool",
-			&pmemcpy.Options{Codec: "flat", PoolSize: 8 << 20}, pmemcpy.WithParallelism(2))
+		// Options apply in argument order: later options override earlier.
+		p, err = pmemcpy.Mmap(c, n, "/fo4.pool", pmemcpy.WithCodec("bp4"),
+			pmemcpy.WithCodec("flat"), pmemcpy.WithPoolSize(8<<20), pmemcpy.WithParallelism(2))
 		if err != nil {
 			return err
 		}
 		if p.CodecName() != "flat" {
 			return fmt.Errorf("composed CodecName = %q, want flat", p.CodecName())
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewLifecycle exercises the public zero-copy view surface end to end:
+// LoadView and Array.View alias stored bytes under an identity codec, survive
+// a delete of the variable until closed, and fail fast once stale.
+func TestViewLifecycle(t *testing.T) {
+	n := newNode()
+	_, err := pmemcpy.Run(n, 1, func(c *pmemcpy.Comm) error {
+		p, err := pmemcpy.Mmap(c, n, "/view.pool", pmemcpy.WithCodec("raw"))
+		if err != nil {
+			return err
+		}
+		a, err := pmemcpy.CreateArray[float64](p, "T", 256)
+		if err != nil {
+			return err
+		}
+		data := make([]float64, 256)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		if err := a.Store(data, []uint64{0}, []uint64{256}); err != nil {
+			return err
+		}
+
+		v, err := pmemcpy.LoadView[float64](p, "T", []uint64{0}, []uint64{256})
+		if err != nil {
+			return err
+		}
+		if !v.ZeroCopy() {
+			return fmt.Errorf("LoadView under raw codec: ZeroCopy = false")
+		}
+		got, err := v.Data()
+		if err != nil {
+			return err
+		}
+		if len(got) != 256 || got[100] != 100 {
+			return fmt.Errorf("view data = len %d, [100]=%v", len(got), got[100])
+		}
+
+		// Deleting the variable with the lease open defers the block free:
+		// the view still reads the old data.
+		if _, err := a.Delete(); err != nil {
+			return err
+		}
+		if got, err = v.Data(); err != nil || got[100] != 100 {
+			return fmt.Errorf("view after delete: data[100]=%v err=%v", got[100], err)
+		}
+		if err := v.Close(); err != nil {
+			return err
+		}
+		if _, err := v.Data(); !errors.Is(err, pmemcpy.ErrStaleView) {
+			return fmt.Errorf("Data after Close = %v, want ErrStaleView", err)
+		}
+		if v.Len() != 256 {
+			return fmt.Errorf("Len after Close = %d, want 256 (metadata stays)", v.Len())
+		}
+
+		// The typed-handle mirror: a sub-range view through Array.View.
+		b, err := pmemcpy.CreateArray[int32](p, "U", 64)
+		if err != nil {
+			return err
+		}
+		ints := make([]int32, 64)
+		for i := range ints {
+			ints[i] = int32(i * 3)
+		}
+		if err := b.Store(ints, []uint64{0}, []uint64{64}); err != nil {
+			return err
+		}
+		sub, err := b.View([]uint64{16}, []uint64{8})
+		if err != nil {
+			return err
+		}
+		defer sub.Close()
+		got32, err := sub.Data()
+		if err != nil {
+			return err
+		}
+		if sub.Len() != 8 || got32[0] != 48 || got32[7] != 69 {
+			return fmt.Errorf("Array.View sub-range = %v", got32)
 		}
 		return p.Munmap()
 	})
