@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async cover apicheck leasecheck bench-check bench-async bench-views fuzz bench clean
+.PHONY: all build test tier1 vet verify race faults obs obsdeps integrity async cover apicheck leasecheck commitvet bench-check bench-async bench-views fuzz bench clean
 
 all: tier1
 
@@ -22,7 +22,7 @@ tier1: build vet test
 # verify is the pre-merge checklist: the tier-1 gate, the race detector, the
 # fault-injection suite, the observability gates, the integrity battery, and
 # the API-surface / lease-misuse lints.
-verify: tier1 race faults obs obsdeps integrity async cover apicheck leasecheck
+verify: tier1 race faults obs obsdeps integrity async cover apicheck leasecheck commitvet
 
 # apicheck pins the public v2 API surface: every exported declaration in
 # package pmemcpy against testdata/api_golden.txt. An intended surface change
@@ -37,6 +37,13 @@ apicheck:
 leasecheck:
 	$(GO) vet -copylocks ./...
 	$(GO) run ./cmd/leasevet ./...
+
+# commitvet enforces the unified write engine's ownership contract: pool
+# transactions over data blocks (Begin/Alloc/Free) appear only in the commit
+# engine (internal/core/writeplan.go); every other non-test internal/core
+# file must plan over it.
+commitvet:
+	$(GO) run ./cmd/commitvet ./internal/core
 
 # Integrity battery: checksum algebra, verified reads and quarantine, the
 # scrubber, the corruption differential (flavor C: ErrCorrupt or model bytes,
@@ -60,8 +67,9 @@ async:
 # (internal/bytesview): combined statement coverage must not drop below the
 # floor. The floor trails the current figure (~81%) by a few points so
 # refactors have headroom, but a change that lands a subsystem without tests
-# will trip it.
-COVER_FLOOR ?= 75.0
+# will trip it. Raised to 78% once the unified write engine collapsed the
+# duplicated store paths (dead duplicate branches no longer dilute the figure).
+COVER_FLOOR ?= 78.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/pmdk/ ./internal/bytesview/
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \

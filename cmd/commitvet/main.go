@@ -1,0 +1,168 @@
+// Command commitvet is a small static checker for the unified write-path
+// commit engine (internal/core/writeplan.go): pool transactions over data
+// blocks — pool.Begin(clk), pool.Alloc(tx, size), pool.Free(tx, id) — may be
+// taken ONLY by the commit engine, so the alloc-in-tx ordering, persist
+// points, and crash-consistency windows stay auditable in one place.
+// commitvet flags any such call in a non-test internal/core file other than
+// writeplan.go.
+//
+// The match is syntactic (no type information): Begin with exactly one
+// argument, and Alloc/Free with exactly two (the public three-argument
+// PMEM.Alloc dims declaration does not match). The pool-format bootstraps in
+// core.go run before any data exists; they opt out with a `//commitvet:ignore`
+// comment on the call's line or the line above.
+//
+// Usage: commitvet ./internal/core (or any package directories / ./...
+// patterns). Exits 1 when any finding is reported. Wired into
+// `make commitvet` and the verify pipeline.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// engineFiles are the files allowed to take pool transactions: the commit
+// engine itself.
+var engineFiles = map[string]bool{
+	"writeplan.go": true,
+}
+
+// txCalls maps the recognized transactional call names to the exact argument
+// count that marks the pool-transaction form.
+var txCalls = map[string]int{
+	"Begin": 1, // pool.Begin(clk)
+	"Alloc": 2, // pool.Alloc(tx, size)
+	"Free":  2, // pool.Free(tx, id)
+}
+
+const ignoreDirective = "//commitvet:ignore"
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./internal/core"}
+	}
+	var dirs []string
+	for _, a := range args {
+		if strings.HasSuffix(a, "/...") {
+			root := strings.TrimSuffix(a, "/...")
+			if root == "." || root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "results") {
+						return filepath.SkipDir
+					}
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+
+	findings := 0
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			fatal(fmt.Errorf("%s: %w", dir, err))
+		}
+		for _, pkg := range pkgs {
+			for name, file := range pkg.Files {
+				base := filepath.Base(name)
+				if strings.HasSuffix(base, "_test.go") || engineFiles[base] {
+					continue
+				}
+				findings += checkFile(fset, file)
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "commitvet: %d pool transaction(s) outside the commit engine\n", findings)
+		os.Exit(1)
+	}
+}
+
+func checkFile(fset *token.FileSet, file *ast.File) int {
+	// Lines carrying (or preceding) an ignore directive exempt their calls:
+	// the pool-format bootstraps in core.go legitimately transact before any
+	// data exists.
+	ignored := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), ignoreDirective) {
+				line := fset.Position(c.Pos()).Line
+				ignored[line] = true
+				ignored[line+1] = true
+			}
+		}
+	}
+	findings := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := callName(call)
+		want, isTx := txCalls[name]
+		if !isTx || len(call.Args) != want {
+			return true
+		}
+		// Only method calls on a pool-like receiver count; bare identifiers
+		// (local helpers named Begin/Alloc/Free) are not the pmdk pool API.
+		if _, isSel := call.Fun.(*ast.SelectorExpr); !isSel {
+			return true
+		}
+		if ignored[fset.Position(call.Pos()).Line] {
+			return true
+		}
+		findings++
+		fmt.Fprintf(os.Stderr, "%s: pool.%s outside the commit engine — route this write through writeplan.go\n",
+			fset.Position(call.Pos()), name)
+		return true
+	})
+	return findings
+}
+
+// callName extracts the bare called name: the method or function identifier
+// with any package/receiver selector and generic instantiation stripped.
+func callName(call *ast.CallExpr) string {
+	fn := call.Fun
+	for {
+		switch f := fn.(type) {
+		case *ast.IndexExpr:
+			fn = f.X
+		case *ast.IndexListExpr:
+			fn = f.X
+		case *ast.SelectorExpr:
+			return f.Sel.Name
+		case *ast.Ident:
+			return f.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commitvet:", err)
+	os.Exit(1)
+}

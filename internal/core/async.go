@@ -7,9 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"pmemcpy/internal/checksum"
 	"pmemcpy/internal/nd"
-	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/serial"
 )
 
@@ -413,39 +411,13 @@ func (e *asyncEngine) commitBatch(ops []pendingOp) error {
 	return firstErr
 }
 
-// asyncFrag is one submitted sub-store inside a commit unit.
-type asyncFrag struct {
-	fut    *Future
-	datum  serial.Datum
-	encLen int64
-}
-
-// asyncUnit is one block the group commit allocates, fills, persists, and
-// publishes: either a single submission or a merged run of adjacent ones.
-type asyncUnit struct {
-	offs   []uint64
-	counts []uint64
-	frags  []asyncFrag
-	encLen int64
-	pool   uint8 // member pool holding blk: the id's home pool
-	blk    pmdk.PMID
-	wrote  int64
-	crc    uint32
-}
-
-// idGroup is one id's ordered slice of units within a group commit.
-type idGroup struct {
-	id    string
-	dtype serial.DType
-	units []asyncUnit
-}
-
-// commitStores is the group commit: validate, coalesce, allocate every block
-// in one transaction, encode and persist each unit, then publish each id's
-// additions with a single metadata update.
+// commitStores is the group commit planner: validate, group by id, and
+// coalesce adjacent runs, then hand the commit engine one writePlan — every
+// block allocates out of one transaction per touched pool, merged units'
+// fragments encode back-to-back with their CRC32Cs folded, and each id's
+// additions publish with a single metadata update.
 func (e *asyncEngine) commitStores(stores []pendingOp) error {
 	p := e.p
-	clk := p.comm.Clock()
 	in := p.st.ins
 	encPasses, _ := p.codec.CostProfile()
 	ie, ok := p.codec.(serial.IdentityEncoder)
@@ -454,8 +426,8 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 	// 1. Validate each submission against its dims (exactly the synchronous
 	// checks, so the wrapped sentinels match) and group by id in
 	// first-appearance order, coalescing adjacent runs as they arrive.
-	var order []*idGroup
-	groups := make(map[string]*idGroup)
+	var order []*planGroup
+	groups := make(map[string]*planGroup)
 	for i := range stores {
 		op := &stores[i]
 		rec, err := p.loadDimsLocked(op.id)
@@ -474,14 +446,14 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 				len(op.data), need, ErrOutOfBounds))
 			continue
 		}
-		frag := asyncFrag{
+		frag := writeFrag{
 			fut:   op.fut,
 			datum: serial.Datum{Type: rec.dtype, Dims: op.counts, Payload: op.data[:need]},
 		}
 		frag.encLen = int64(p.codec.EncodedSize(&frag.datum))
 		g := groups[op.id]
 		if g == nil {
-			g = &idGroup{id: op.id, dtype: rec.dtype}
+			g = &planGroup{id: op.id, dtype: rec.dtype, publish: publishBlockList}
 			groups[op.id] = g
 			order = append(order, g)
 		}
@@ -499,180 +471,71 @@ func (e *asyncEngine) commitStores(stores []pendingOp) error {
 				continue
 			}
 		}
-		g.units = append(g.units, asyncUnit{
+		g.units = append(g.units, writeUnit{
 			offs:   append([]uint64(nil), op.offs...),
 			counts: append([]uint64(nil), op.counts...),
-			frags:  []asyncFrag{frag},
+			frags:  []writeFrag{frag},
 			encLen: frag.encLen,
 			pool:   uint8(p.homeIdx(op.id)),
 		})
 	}
-
-	var units []*asyncUnit
-	for _, g := range order {
-		for i := range g.units {
-			units = append(units, &g.units[i])
-		}
-	}
-	if len(units) == 0 {
+	if len(order) == 0 {
 		return nil
 	}
-	// failAll completes every store future of the run with err. Only used
-	// before any publish happened; complete is first-wins, so futures already
-	// carrying a validation error are untouched.
-	failAll := func(err error) {
-		for _, u := range units {
-			for fi := range u.frags {
-				u.frags[fi].fut.complete(0, err)
-			}
-		}
-	}
-
-	// 2. ONE transaction per touched member pool allocates every unit's block
-	// — the first of the three amortizations group commit buys over per-op
-	// stores. On a sharded namespace the batch seals per pool: pools are
-	// visited in ascending order so the persist sequence stays deterministic
-	// for the crash explorer, and a crash between pool transactions leaves
-	// only unpublished allocations (recoverable garbage).
-	for pi := 0; pi < p.st.npools(); pi++ {
-		var tx *pmdk.Tx
-		for _, u := range units {
-			if int(u.pool) != pi {
-				continue
-			}
-			if tx == nil {
-				var err error
-				tx, err = p.st.poolAt(pi).Begin(clk)
-				if err != nil {
-					failAll(err)
-					return err
-				}
-			}
-			blk, err := p.st.poolAt(pi).Alloc(tx, u.encLen)
-			if err != nil {
-				tx.Abort()
-				failAll(err)
-				return err
-			}
-			u.blk = blk
-		}
-		if tx != nil {
-			if err := tx.Commit(); err != nil {
-				failAll(err)
-				return err
-			}
-		}
-	}
-
-	// 3. Encode each unit directly into its mapped block and persist it with
-	// ONE barrier per unit: a merged unit's fragments encode back-to-back and
-	// their CRC32Cs fold with checksum.Combine, so the published CRC covers
-	// the whole block without a second pass. A mid-wave failure fails the
-	// whole run (nothing is published yet) and leaves the allocated blocks
-	// unpublished — recoverable garbage, like every post-commit failure path
-	// of the synchronous store.
-	for _, u := range units {
-		pool := p.poolOf(u.pool)
-		dst, err := pool.Slice(u.blk, u.encLen)
-		if err != nil {
-			failAll(err)
-			return err
-		}
-		if err := pool.Mapping().Capture(int64(u.blk), u.encLen); err != nil {
-			failAll(err)
-			return err
-		}
-		var off int64
-		for fi := range u.frags {
-			frag := &u.frags[fi]
-			wrote, err := p.codec.EncodeTo(dst[off:off+frag.encLen], &frag.datum)
-			if err != nil {
-				failAll(err)
-				return err
-			}
-			fcrc := checksum.Sum(dst[off : off+int64(wrote)])
-			if fi == 0 {
-				u.crc = fcrc
-			} else {
-				u.crc = checksum.Combine(u.crc, fcrc, int64(wrote))
-			}
-			off += int64(wrote)
-		}
-		u.wrote = off
-		p.chargeStoreBytes(int(u.pool), u.wrote, encPasses)
-		pt := ptAsyncPayload
-		if len(u.frags) > 1 {
-			pt = ptAsyncMerge
-		}
-		if err := pool.Mapping().Persist(clk, int64(u.blk), u.wrote, pt); err != nil {
-			failAll(err)
-			return err
-		}
-		if in.enabled {
-			in.asyncBatchBytes.Observe(u.wrote)
-		}
-	}
-
-	// 4. Publish per id, in first-appearance order: each id's new blocks
-	// append to its block list with a single metadata update, so a crash
-	// leaves an id wholly before or wholly after its group — never between.
-	var firstErr error
-	for gi, g := range order {
-		if len(g.units) == 0 {
-			continue
-		}
-		lock := p.varLock(g.id)
-		lock.Lock()
-		blocks, _, err := p.loadBlockList(g.id)
-		if err == nil {
-			for i := range g.units {
-				u := &g.units[i]
-				blocks = append(blocks, blockRec{
-					dtype:  g.dtype,
-					pool:   u.pool,
-					offs:   u.offs,
-					counts: u.counts,
-					data:   u.blk,
-					encLen: u.wrote,
-					crc:    u.crc,
-				})
-			}
-			err = p.putValue(g.id, encodeBlockList(blocks))
-		}
-		if err == nil {
-			p.invalidateCache(g.id)
-			in.asyncPublishes.Inc()
-		}
-		lock.Unlock()
+	// Persist points resolve once coalescing settles: merged units carry the
+	// merge point, single submissions the batch payload point.
+	for _, g := range order {
 		for i := range g.units {
-			for fi := range g.units[i].frags {
-				f := &g.units[i].frags[fi]
-				if err != nil {
-					f.fut.complete(0, err)
-				} else {
-					f.fut.complete(f.encLen, nil)
-				}
+			if len(g.units[i].frags) > 1 {
+				g.units[i].point = ptAsyncMerge
+			} else {
+				g.units[i].point = ptAsyncPayload
 			}
 		}
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			if batchFatal(err) {
-				// Poison the remaining groups: their payloads persisted but
-				// the metadata path is failing.
-				for _, g2 := range order[gi+1:] {
-					for i := range g2.units {
-						for fi := range g2.units[i].frags {
-							g2.units[i].frags[fi].fut.complete(0, err)
-						}
+	}
+
+	plan := &writePlan{
+		groups:    order,
+		fill:      fillSerial,
+		encPasses: encPasses,
+		// fail completes every store future of the run with err. The engine
+		// only invokes it before any publish happened; complete is
+		// first-wins, so futures already carrying a validation error are
+		// untouched.
+		fail: func(err error) {
+			for _, g := range order {
+				for i := range g.units {
+					for fi := range g.units[i].frags {
+						g.units[i].frags[fi].fut.complete(0, err)
 					}
 				}
-				return firstErr
 			}
-		}
+		},
+		// A fatal publish error poisons the remaining groups: their payloads
+		// persisted but the metadata path is failing.
+		fatal: batchFatal,
+		afterUnit: func(u *writeUnit) {
+			if in.enabled {
+				in.asyncBatchBytes.Observe(u.wrote)
+			}
+		},
+		published: func(g *planGroup, err error) {
+			if err == nil {
+				in.asyncPublishes.Inc()
+			}
+			for i := range g.units {
+				for fi := range g.units[i].frags {
+					f := &g.units[i].frags[fi]
+					if err != nil {
+						f.fut.complete(0, err)
+					} else {
+						f.fut.complete(f.encLen, nil)
+					}
+				}
+			}
+		},
 	}
-	return firstErr
+	return p.engine().run(plan)
 }
 
 // adjacentDim0 reports whether region (bOffs, bCounts) extends (aOffs,

@@ -173,23 +173,25 @@ func TestExploreAsyncMerge(t *testing.T) {
 
 // TestExploreAsyncPointsReached pins that the async scripts actually execute
 // under the async persist points — otherwise the two explorations above would
-// vacuously pass while testing the synchronous path.
+// vacuously pass while testing the synchronous path. The wanted names are the
+// historical ones, resolved through the alias table (core.CanonicalPoint), so
+// the assertion survives point renames without losing its meaning.
 func TestExploreAsyncPointsReached(t *testing.T) {
 	events, err := core.TraceScript(exploreAsyncBatchScript())
 	if err != nil {
 		t.Fatal(err)
 	}
 	names := persistPointNames(events)
-	if !containsStr(names, "core.async.payload") {
-		t.Errorf("async-batch trace reached %v, want core.async.payload", names)
+	if want := core.CanonicalPoint("core.async.payload"); !containsStr(names, want) {
+		t.Errorf("async-batch trace reached %v, want %s", names, want)
 	}
 	events, err = core.TraceScript(exploreAsyncMergeScript())
 	if err != nil {
 		t.Fatal(err)
 	}
 	names = persistPointNames(events)
-	if !containsStr(names, "core.async.merge") {
-		t.Errorf("async-merge trace reached %v, want core.async.merge", names)
+	if want := core.CanonicalPoint("core.async.merge"); !containsStr(names, want) {
+		t.Errorf("async-merge trace reached %v, want %s", names, want)
 	}
 }
 

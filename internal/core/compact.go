@@ -75,12 +75,12 @@ func (p *PMEM) compact(ctx context.Context, id string) (int, error) {
 
 	// Publish the pruned list first, then free the storage: a crash between
 	// the two leaks blocks (recoverable garbage) but never dangles pointers.
-	// The DRAM index is dropped before the blocks are freed so no reader can
-	// plan a gather against a PMID that a concurrent reuse may repurpose.
-	if err := p.putValue(id, encodeBlockList(live)); err != nil {
+	// The commit engine's republish drops the DRAM index before the blocks
+	// are freed so no reader can plan a gather against a PMID that a
+	// concurrent reuse may repurpose.
+	if err := p.engine().republishLocked(id, live); err != nil {
 		return 0, err
 	}
-	p.invalidateCache(id)
 	victimIDs := make([]poolPMID, len(victims))
 	for i, v := range victims {
 		victimIDs[i] = poolPMID{pool: v.pool, id: v.data}

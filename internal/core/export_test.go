@@ -10,3 +10,11 @@ func OptionsArg(o *Options) MmapOption {
 	}
 	return optionsOption(*o)
 }
+
+// RawValue returns the raw metadata record stored under id — value refs,
+// block lists, dims records — exactly as published. The write-path
+// equivalence suite compares these bytes across store modes: identical
+// records mean identical CRCs, block layout, and pool placement.
+func (p *PMEM) RawValue(id string) ([]byte, bool, error) {
+	return p.getValue(id)
+}

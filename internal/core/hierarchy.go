@@ -132,21 +132,14 @@ func (h *hierStore) chargeStagedDecode(p *PMEM, n int64, passes float64) {
 		m.Config().DeserializeBPS, m.Oversub(p.comm.Size()), m.DRAM))
 }
 
-// storeDatum writes one whole value as a single-record file.
+// storeDatum writes one whole value as a single-record file: a staged plan
+// whose frame is the 1-byte type prefix, executed by the commit engine.
 func (h *hierStore) storeDatum(p *PMEM, id string, d *serial.Datum) error {
-	clk := p.comm.Clock()
-	enc := make([]byte, 1+p.codec.EncodedSize(d))
-	enc[0] = byte(d.Type)
-	wrote, err := p.codec.EncodeTo(enc[1:], d)
-	if err != nil {
-		return err
-	}
-	encPasses, _ := p.codec.CostProfile()
-	h.chargeStagedEncode(p, int64(wrote)+1, encPasses)
-	lock := p.varLock(id)
-	lock.Lock()
-	defer lock.Unlock()
-	return h.putValue(clk, id, enc[:1+wrote])
+	return p.engine().runStaged(h, &stagedPlan{
+		id:     id,
+		header: []byte{byte(d.Type)},
+		datum:  d,
+	})
 }
 
 func (h *hierStore) loadDatum(p *PMEM, id string) (*serial.Datum, error) {
@@ -175,49 +168,29 @@ func (h *hierStore) loadDatum(p *PMEM, id string) (*serial.Datum, error) {
 //	u8 dtype | u8 ndims | offs u64[nd] | counts u64[nd] | u64 encLen | payload
 func blockRecordHeaderSize(ndims int) int64 { return 2 + 16*int64(ndims) + 8 }
 
-// storeBlock appends one block record to the variable's file.
+// storeBlock appends one block record to the variable's file: a staged plan
+// whose frame is the record header (with the encoded-length hole stamped by
+// the engine after the fill), executed by the commit engine.
 func (h *hierStore) storeBlock(p *PMEM, id string, offs []uint64, d *serial.Datum) error {
-	clk := p.comm.Clock()
-	encPasses, _ := p.codec.CostProfile()
-	hdrLen := blockRecordHeaderSize(len(d.Dims))
-	enc := make([]byte, hdrLen+int64(p.codec.EncodedSize(d)))
-	enc[0] = byte(d.Type)
-	enc[1] = byte(len(d.Dims))
+	hdr := make([]byte, blockRecordHeaderSize(len(d.Dims)))
+	hdr[0] = byte(d.Type)
+	hdr[1] = byte(len(d.Dims))
 	pos := 2
 	for _, o := range offs {
-		binary.LittleEndian.PutUint64(enc[pos:], o)
+		binary.LittleEndian.PutUint64(hdr[pos:], o)
 		pos += 8
 	}
 	for _, c := range d.Dims {
-		binary.LittleEndian.PutUint64(enc[pos:], c)
+		binary.LittleEndian.PutUint64(hdr[pos:], c)
 		pos += 8
 	}
-	wrote, err := p.codec.EncodeTo(enc[pos+8:], d)
-	if err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint64(enc[pos:], uint64(wrote))
-	total := hdrLen + int64(wrote)
-	h.chargeStagedEncode(p, total, encPasses)
-
-	lock := p.varLock(id)
-	lock.Lock()
-	defer lock.Unlock()
-	fp, err := h.filePath(clk, id, true)
-	if err != nil {
-		return err
-	}
-	f, err := h.node.FS.Open(clk, fp)
-	if err != nil {
-		if f, err = h.node.FS.Create(clk, fp); err != nil {
-			return err
-		}
-	}
-	defer f.Close()
-	if _, err := f.WriteAt(clk, enc[:total], f.Size()); err != nil {
-		return err
-	}
-	return f.Sync(clk)
+	return p.engine().runStaged(h, &stagedPlan{
+		id:        id,
+		header:    hdr,
+		stampLen:  true,
+		datum:     d,
+		appendRec: true,
+	})
 }
 
 // loadBlock scans the variable's file and gathers every intersecting record.

@@ -283,7 +283,7 @@ func (p *PMEM) quarantineBlocks(blks []poolPMID) error {
 	if !changed || st.ht == nil {
 		return nil
 	}
-	return st.ht.Put(p.comm.Clock(), []byte(quarantineKey), encodeQuarantine(ids))
+	return p.engine().publishQuarantine(ids)
 }
 
 // unquarantine drops blks from the quarantine: their storage was freed, and
@@ -310,12 +310,7 @@ func (p *PMEM) unquarantine(blks []poolPMID) {
 	if !changed || st.ht == nil {
 		return
 	}
-	clk := p.comm.Clock()
-	if len(ids) == 0 {
-		_, _ = st.ht.Delete(clk, []byte(quarantineKey))
-		return
-	}
-	_ = st.ht.Put(clk, []byte(quarantineKey), encodeQuarantine(ids))
+	_ = p.engine().publishQuarantine(ids)
 }
 
 // Quarantined returns the currently quarantined pool offsets, sorted by

@@ -1,15 +1,10 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-
-	"pmemcpy/internal/checksum"
-	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/serial"
 )
 
-// Parallel block-copy engine: a large StoreBlock payload is split along its
+// Parallel store planners: a large StoreBlock payload is split along its
 // slowest-varying dimension into per-shard blocks that worker goroutines
 // serialize into PMEM concurrently. All shard blocks are allocated in ONE
 // transaction (amortizing tx begin/commit across blocks, as "Persistent
@@ -18,23 +13,23 @@ import (
 // multi-shard store or none of it — never a torn block list. The crash-matrix
 // tests drive exactly that property.
 //
-// Workers only run the codec's EncodeTo into their shard's mapped slice; the
-// coordinator does every clock charge, capture and persist, keeping virtual
-// time and the crash simulator's persist ordering deterministic regardless of
-// goroutine scheduling.
+// This file only plans (shard the payload, assign stripe pools); the commit
+// engine's sharded and chunked fills (writeplan.go) execute the concurrent
+// encode waves. Workers only run the codec's EncodeTo into their shard's
+// mapped slice; the coordinator does every clock charge, capture and persist,
+// keeping virtual time and the crash simulator's persist ordering
+// deterministic regardless of goroutine scheduling.
 
 // parallelMinBytes is the smallest encoded payload worth sharding; below it
 // the per-shard transaction and header overhead outweighs the copy win.
 const parallelMinBytes = 256 << 10
 
-// shard is one worker's slice of a parallel store.
+// shard is one worker's slice of a parallel store, as cut by splitShards;
+// the commit engine's sharded fill carries the execution state (block,
+// bytes written, CRC) on the plan's writeUnits.
 type shard struct {
-	datum  serial.Datum // dims/payload restricted to this shard's rows
-	offs   []uint64
-	encLen int64 // encoded size, computed before allocation
-	blk    pmdk.PMID
-	wrote  int64
-	crc    uint32 // CRC32C of the shard's encoded bytes, computed by its worker
+	datum serial.Datum // dims/payload restricted to this shard's rows
+	offs  []uint64
 }
 
 // splitShards cuts the block (offs, counts, payload) into at most want
@@ -85,147 +80,37 @@ func (p *PMEM) parallelEligible(counts []uint64, encSize int64) bool {
 // across the member pools starting at the id's home pool, so one large store
 // drives every device concurrently — the aggregate-bandwidth win E17 sweeps.
 func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint64, d *serial.Datum) (int64, error) {
-	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	shards := splitShards(d, offs, counts, p.st.par)
 	npools := p.st.npools()
 	home := p.homeIdx(id)
-	pools := make([]uint8, len(shards))
-	for i := range shards {
-		shards[i].encLen = int64(p.codec.EncodedSize(&shards[i].datum))
-		pools[i] = uint8((home + i) % npools)
-	}
 
-	// 1. One batched transaction per touched pool allocates the shards'
-	// blocks, in ascending pool order so the persist sequence is
-	// deterministic for the crash explorer. A crash between pool
-	// transactions leaves some allocations committed and none published —
-	// recoverable garbage, exactly like the single-pool path's post-commit
-	// window, never a torn block list.
-	for pi := 0; pi < npools; pi++ {
-		var tx *pmdk.Tx
-		for i := range shards {
-			if int(pools[i]) != pi {
-				continue
-			}
-			if tx == nil {
-				var err error
-				tx, err = p.st.poolAt(pi).Begin(clk)
-				if err != nil {
-					return 0, err
-				}
-			}
-			blk, err := p.st.poolAt(pi).Alloc(tx, shards[i].encLen)
-			if err != nil {
-				tx.Abort()
-				return 0, err
-			}
-			shards[i].blk = blk
-		}
-		if tx != nil {
-			if err := tx.Commit(); err != nil {
-				return 0, err
-			}
-		}
-	}
-
-	// 2. Capture every destination range up front (the crash simulator's
-	// pre-images), then let workers serialize concurrently. Workers touch
-	// neither the clock nor the device bookkeeping — the coordinator charges
-	// the analytic parallel cost and persists after the join, so a crash
-	// point lands before or after the whole copy wave deterministically.
-	dsts := make([][]byte, len(shards))
+	// Plan: one writeUnit per shard, striping round-robin from the id's home
+	// pool, all published with a single block-list update — one hashtable
+	// Put, one transaction, all-or-nothing. The engine allocates in ONE
+	// batched transaction per touched pool (ascending pool order), runs the
+	// concurrent encode wave, and persists after the join.
+	g := &planGroup{id: id, dtype: rec.dtype, publish: publishBlockList}
+	g.units = make([]writeUnit, len(shards))
 	for i := range shards {
-		pool := p.poolOf(pools[i])
-		dst, err := pool.Slice(shards[i].blk, shards[i].encLen)
-		if err != nil {
-			return 0, err
-		}
-		if err := pool.Mapping().Capture(int64(shards[i].blk), shards[i].encLen); err != nil {
-			return 0, err
-		}
-		dsts[i] = dst
-	}
-	errs := make([]error, len(shards))
-	var wg sync.WaitGroup
-	for i := range shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			wrote, err := p.codec.EncodeTo(dsts[i], &shards[i].datum)
-			shards[i].wrote = int64(wrote)
-			errs[i] = err
-			if err == nil {
-				// Each worker checksums its own shard while the bytes are hot;
-				// shards publish as separate block records, so no combine step
-				// is needed here.
-				shards[i].crc = checksum.Sum(dsts[i][:wrote])
-			}
-		}(i)
-	}
-	wg.Wait()
-	var total int64
-	for i := range shards {
-		if errs[i] != nil {
-			// The allocated blocks stay unpublished; like the serial path's
-			// post-commit failures they are garbage a Compact can reclaim,
-			// never dangling pointers.
-			return 0, fmt.Errorf("core: parallel store of %q shard %d: %w", id, i, errs[i])
-		}
-		total += shards[i].wrote
-	}
-	if in := p.st.ins; in.enabled {
-		for i := range shards {
-			in.shardBytes.Observe(shards[i].wrote)
-		}
-	}
-	// Charge the striped cost: per-pool byte totals stream concurrently, so
-	// virtual time advances by the slowest stripe, not the sum.
-	perPool := make([]int64, 0, npools)
-	pis := make([]int, 0, npools)
-	for pi := 0; pi < npools; pi++ {
-		var n int64
-		for i := range shards {
-			if int(pools[i]) == pi {
-				n += shards[i].wrote
-			}
-		}
-		if n > 0 {
-			perPool = append(perPool, n)
-			pis = append(pis, pi)
-		}
-	}
-	p.chargeStripedStore(perPool, pis, encPasses, len(shards))
-	for i := range shards {
-		if err := p.poolOf(pools[i]).Mapping().Persist(clk, int64(shards[i].blk), shards[i].wrote, ptBlockShard); err != nil {
-			return 0, err
-		}
-	}
-
-	// 3. Publish all shards with a single block-list update: one hashtable
-	// Put, one transaction, all-or-nothing.
-	lock := p.varLock(id)
-	lock.Lock()
-	defer lock.Unlock()
-	blocks, _, err := p.loadBlockList(id)
-	if err != nil {
-		return 0, err
-	}
-	for i := range shards {
-		blocks = append(blocks, blockRec{
-			dtype:  rec.dtype,
-			pool:   pools[i],
+		encLen := int64(p.codec.EncodedSize(&shards[i].datum))
+		g.units[i] = writeUnit{
+			pool:   uint8((home + i) % npools),
 			offs:   shards[i].offs,
 			counts: shards[i].datum.Dims,
-			data:   shards[i].blk,
-			encLen: shards[i].wrote,
-			crc:    shards[i].crc,
-		})
+			frags:  []writeFrag{{datum: shards[i].datum, encLen: encLen}},
+			encLen: encLen,
+			point:  ptBlockShard,
+		}
 	}
-	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
+	plan := &writePlan{groups: []*planGroup{g}, fill: fillSharded, encPasses: encPasses}
+	if err := p.engine().run(plan); err != nil {
 		return 0, err
 	}
-	p.invalidateCache(id)
+	var total int64
+	for i := range g.units {
+		total += g.units[i].wrote
+	}
 	p.st.parallelStores.Add(1)
 	p.st.parallelBlocks.Add(int64(len(shards)))
 	return total, nil
@@ -236,81 +121,33 @@ func (p *PMEM) storeBlockParallel(id string, rec dimsRecord, offs, counts []uint
 // by concurrent workers. Only valid when the codec's encoding is a plain
 // payload copy, since workers write disjoint sub-ranges of one encode.
 func (p *PMEM) storeDatumParallel(id string, d *serial.Datum) (int64, error) {
-	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	need := int64(len(d.Payload)) + 1
-	home := p.homeIdx(id)
-	pool := p.st.poolAt(home)
-	tx, err := pool.Begin(clk)
-	if err != nil {
+	// Plan: one chunk-filled unit in the id's home pool, published as a
+	// value ref. The engine's chunked fill cuts the payload into worker byte
+	// ranges and folds the per-chunk CRC32Cs with checksum.Combine after the
+	// join, clamping the worker budget to the payload size.
+	plan := &writePlan{
+		fill:      fillChunked,
+		workers:   p.st.par,
+		encPasses: encPasses,
+		groups: []*planGroup{{
+			id:      id,
+			publish: publishValueRef,
+			units: []writeUnit{{
+				pool:        uint8(p.homeIdx(id)),
+				frags:       []writeFrag{{datum: *d, encLen: need - 1}},
+				encLen:      need,
+				prefix:      true,
+				persistFull: true,
+				point:       ptDatumChunk,
+			}},
+		}},
+	}
+	if err := p.engine().run(plan); err != nil {
 		return 0, err
 	}
-	blk, err := pool.Alloc(tx, need)
-	if err != nil {
-		tx.Abort()
-		return 0, err
-	}
-	if err := tx.Commit(); err != nil {
-		return 0, err
-	}
-	dst, err := pool.Slice(blk, need)
-	if err != nil {
-		return 0, err
-	}
-	if err := pool.Mapping().Capture(int64(blk), need); err != nil {
-		return 0, err
-	}
-	dst[0] = byte(d.Type)
-	workers := p.st.par
-	if int64(workers) > need-1 {
-		workers = int(need - 1)
-	}
-	chunk := (need - 1 + int64(workers) - 1) / int64(workers)
-	// Per-chunk CRCs, indexed by worker; the coordinator folds them with
-	// checksum.Combine after the join so the published CRC covers the whole
-	// block without a second pass over the data.
-	chunkCRC := make([]uint32, workers)
-	chunkLen := make([]int64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := int64(w) * chunk
-		hi := lo + chunk
-		if hi > need-1 {
-			hi = need - 1
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w int, lo, hi int64) {
-			defer wg.Done()
-			copy(dst[1+lo:1+hi], d.Payload[lo:hi])
-			chunkCRC[w] = checksum.Sum(dst[1+lo : 1+hi])
-			chunkLen[w] = hi - lo
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	// The block's CRC covers the type-prefix byte plus the chunked payload.
-	crc := checksum.Sum(dst[:1])
-	for w := 0; w < workers; w++ {
-		crc = checksum.Combine(crc, chunkCRC[w], chunkLen[w])
-	}
-	if in := p.st.ins; in.enabled {
-		in.shardBytes.Observe(chunk)
-	}
-	p.chargeParallelStore(home, need, encPasses, workers)
-	if err := pool.Mapping().Persist(clk, int64(blk), need, ptDatumChunk); err != nil {
-		return 0, err
-	}
-	rec := encodeValueRef(blk, need, crc)
-	lock := p.varLock(id)
-	lock.Lock()
-	defer lock.Unlock()
-	if err := p.putValue(id, rec); err != nil {
-		return 0, err
-	}
-	p.invalidateCache(id)
 	p.st.parallelStores.Add(1)
-	p.st.parallelBlocks.Add(int64(workers))
+	p.st.parallelBlocks.Add(int64(plan.workers))
 	return need, nil
 }

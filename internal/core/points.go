@@ -2,22 +2,47 @@ package core
 
 import "pmemcpy/internal/pmem"
 
-// Named persist points of the core store. Payload flushes happen outside the
-// pmdk transaction (ordered publish: persist the payload, then publish the
-// pointer transactionally), so they carry their own points distinct from the
-// pmdk protocol steps.
+// Named persist points of the core store's unified commit engine
+// (writeplan.go). Payload flushes happen outside the pmdk transaction
+// (ordered publish: persist the payload, then publish the pointer
+// transactionally), so they carry their own points distinct from the pmdk
+// protocol steps.
 var (
-	// StoreDatum's serial payload flush.
-	ptDatumPayload = pmem.RegisterPoint("core.datum.payload")
-	// StoreDatum's parallel chunked-copy payload flush.
-	ptDatumChunk = pmem.RegisterPoint("core.datum.chunk")
-	// StoreBlock's serial payload flush.
-	ptBlockPayload = pmem.RegisterPoint("core.block.payload")
-	// storeBlockParallel's per-shard payload flush.
-	ptBlockShard = pmem.RegisterPoint("core.block.shard")
-	// The async group commit's per-unit payload flush (async.go): one point
-	// for single-submission units, one for units that coalesced several
-	// adjacent sub-stores into one block.
-	ptAsyncPayload = pmem.RegisterPoint("core.async.payload")
-	ptAsyncMerge   = pmem.RegisterPoint("core.async.merge")
+	// The serial whole-value fill (StoreDatum through fillSerial).
+	ptDatumPayload = pmem.RegisterPoint("core.commit.datum")
+	// The parallel chunked-copy whole-value fill (fillChunked).
+	ptDatumChunk = pmem.RegisterPoint("core.commit.chunk")
+	// The serial block fill (StoreBlock through fillSerial).
+	ptBlockPayload = pmem.RegisterPoint("core.commit.block")
+	// The sharded parallel per-shard fill (fillSharded).
+	ptBlockShard = pmem.RegisterPoint("core.commit.shard")
+	// The async group commit's per-unit fill: one point for
+	// single-submission units, one for units that coalesced several adjacent
+	// sub-stores into one block.
+	ptAsyncPayload = pmem.RegisterPoint("core.commit.batch")
+	ptAsyncMerge   = pmem.RegisterPoint("core.commit.merge")
 )
+
+// pointAliases maps the pre-engine persist-point names (PRs 1–9, when each
+// write path registered its own points) to the unified commit engine's
+// names. The alias table keeps old explorer scripts, recorded traces, and
+// test assertions meaningful across the refactor: every historical name
+// resolves to exactly one live point.
+var pointAliases = map[string]string{
+	"core.datum.payload": "core.commit.datum",
+	"core.datum.chunk":   "core.commit.chunk",
+	"core.block.payload": "core.commit.block",
+	"core.block.shard":   "core.commit.shard",
+	"core.async.payload": "core.commit.batch",
+	"core.async.merge":   "core.commit.merge",
+}
+
+// CanonicalPoint resolves a possibly historical persist-point name to its
+// current registered name. Unknown names pass through unchanged, so callers
+// can feed it any trace without pre-filtering.
+func CanonicalPoint(name string) string {
+	if n, ok := pointAliases[name]; ok {
+		return n
+	}
+	return name
+}

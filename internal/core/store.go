@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"pmemcpy/internal/checksum"
 	"pmemcpy/internal/nd"
 	"pmemcpy/internal/pmdk"
 	"pmemcpy/internal/serial"
@@ -97,37 +96,6 @@ func (p *PMEM) deleteValue(id string) (bool, error) {
 	return true, nil
 }
 
-// freeBlocks frees a set of (pool, PMID) blocks, one transaction per touched
-// pool in ascending pool order.
-func (p *PMEM) freeBlocks(blks []poolPMID) error {
-	clk := p.comm.Clock()
-	for pi := 0; pi < p.st.npools(); pi++ {
-		var tx *pmdk.Tx
-		for _, b := range blks {
-			if int(b.pool) != pi {
-				continue
-			}
-			if tx == nil {
-				var err error
-				tx, err = p.st.poolAt(pi).Begin(clk)
-				if err != nil {
-					return err
-				}
-			}
-			if err := p.st.poolAt(pi).Free(tx, b.id); err != nil {
-				tx.Abort()
-				return err
-			}
-		}
-		if tx != nil {
-			if err := tx.Commit(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
 // Keys lists every stored id (including "#dims" companions) in sorted order,
 // so tooling output (pmemcli, pmemfsck) and tests are deterministic across
 // hashtable bucket layouts.
@@ -177,61 +145,36 @@ func (p *PMEM) storeDatum(id string, d *serial.Datum) (int64, bool, error) {
 	if p.st.layout == LayoutHierarchy {
 		return need, false, p.st.hier.storeDatum(p, id, d)
 	}
-	// Serialize directly into a PMEM block, then publish it as the KV value
-	// via a small pointer record. A 1-byte type prefix lets non-self-
-	// describing codecs decode. Whole values live in the id's home pool —
+	// Plan: serialize directly into one PMEM block (1-byte type prefix so
+	// non-self-describing codecs can decode), then publish it as the KV value
+	// via a small pointer record. Whole values live in the id's home pool —
 	// the same pool as the pointer record — so a value ref needs no pool
-	// field.
-	clk := p.comm.Clock()
+	// field. The commit engine runs the alloc/fill/persist/publish sequence.
 	if ie, ok := p.codec.(serial.IdentityEncoder); ok && ie.IdentityEncode() &&
 		p.st.par > 1 && !p.st.staged && need >= parallelMinBytes {
 		n, err := p.storeDatumParallel(id, d)
 		return n, true, err
 	}
-	home := p.homeIdx(id)
-	pool := p.st.poolAt(home)
-	tx, err := pool.Begin(clk)
-	if err != nil {
+	plan := &writePlan{
+		fill:      fillSerial,
+		encPasses: encPasses,
+		groups: []*planGroup{{
+			id:      id,
+			publish: publishValueRef,
+			units: []writeUnit{{
+				pool:        uint8(p.homeIdx(id)),
+				frags:       []writeFrag{{datum: *d, encLen: need - 1}},
+				encLen:      need,
+				prefix:      true,
+				persistFull: true,
+				point:       ptDatumPayload,
+			}},
+		}},
+	}
+	if err := p.engine().run(plan); err != nil {
 		return 0, false, err
 	}
-	blk, err := pool.Alloc(tx, need)
-	if err != nil {
-		tx.Abort()
-		return 0, false, err
-	}
-	if err := tx.Commit(); err != nil {
-		return 0, false, err
-	}
-	dst, err := pool.Slice(blk, need)
-	if err != nil {
-		return 0, false, err
-	}
-	if err := pool.Mapping().Capture(int64(blk), need); err != nil {
-		return 0, false, err
-	}
-	dst[0] = byte(d.Type)
-	wrote, err := p.codec.EncodeTo(dst[1:], d)
-	if err != nil {
-		return 0, false, err
-	}
-	// The block's CRC covers the type prefix and the encoded payload — the
-	// exact bytes a verified read will see — and is published atomically with
-	// the pointer record below.
-	crc := checksum.Sum(dst[:int64(wrote)+1])
-	p.chargeStoreBytes(home, int64(wrote)+1, encPasses)
-	if err := pool.Mapping().Persist(clk, int64(blk), need, ptDatumPayload); err != nil {
-		return 0, false, err
-	}
-	// Publish: the KV value is a (pmid, len, crc) pointer record.
-	rec := encodeValueRef(blk, int64(wrote)+1, crc)
-	lock := p.varLock(id)
-	lock.Lock()
-	defer lock.Unlock()
-	if err := p.putValue(id, rec); err != nil {
-		return 0, false, err
-	}
-	p.invalidateCache(id)
-	return int64(wrote) + 1, false, nil
+	return plan.groups[0].units[0].wrote, false, nil
 }
 
 // LoadDatum loads a datum stored with StoreDatum, deserializing directly
@@ -388,7 +331,6 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 		return need, false, p.st.hier.storeBlock(p, id, offs, d)
 	}
 
-	clk := p.comm.Clock()
 	encPasses, _ := p.codec.CostProfile()
 	encSize := int64(p.codec.EncodedSize(d))
 	if p.parallelEligible(counts, encSize) {
@@ -396,66 +338,31 @@ func (p *PMEM) storeBlock(id string, offs, counts []uint64, data []byte) (int64,
 		return n, true, err
 	}
 
-	// 1. Allocate the data block (transactional metadata update) in the id's
-	// home pool — serial stores never stripe, so block and metadata co-locate.
-	home := p.homeIdx(id)
-	pool := p.st.poolAt(home)
-	tx, err := pool.Begin(clk)
-	if err != nil {
+	// Plan: one block in the id's home pool — serial stores never stripe, so
+	// block and metadata co-locate — published as one block-list append. The
+	// commit engine serializes DIRECTLY into the mapped PMEM block (the
+	// single pass that defines pMEMCPY), persists, and publishes.
+	plan := &writePlan{
+		fill:      fillSerial,
+		encPasses: encPasses,
+		groups: []*planGroup{{
+			id:      id,
+			dtype:   rec.dtype,
+			publish: publishBlockList,
+			units: []writeUnit{{
+				pool:   uint8(p.homeIdx(id)),
+				offs:   append([]uint64(nil), offs...),
+				counts: append([]uint64(nil), counts...),
+				frags:  []writeFrag{{datum: *d, encLen: encSize}},
+				encLen: encSize,
+				point:  ptBlockPayload,
+			}},
+		}},
+	}
+	if err := p.engine().run(plan); err != nil {
 		return 0, false, err
 	}
-	blk, err := pool.Alloc(tx, encSize)
-	if err != nil {
-		tx.Abort()
-		return 0, false, err
-	}
-	if err := tx.Commit(); err != nil {
-		return 0, false, err
-	}
-
-	// 2. Serialize DIRECTLY into the mapped PMEM block — the single pass
-	// that defines pMEMCPY — and persist it.
-	dst, err := pool.Slice(blk, encSize)
-	if err != nil {
-		return 0, false, err
-	}
-	if err := pool.Mapping().Capture(int64(blk), encSize); err != nil {
-		return 0, false, err
-	}
-	wrote, err := p.codec.EncodeTo(dst, d)
-	if err != nil {
-		return 0, false, err
-	}
-	// Checksum the encoded bytes while they are still hot in cache — the
-	// published CRC covers exactly the range a verified read will slice.
-	crc := checksum.Sum(dst[:wrote])
-	p.chargeStoreBytes(home, int64(wrote), encPasses)
-	if err := pool.Mapping().Persist(clk, int64(blk), int64(wrote), ptBlockPayload); err != nil {
-		return 0, false, err
-	}
-
-	// 3. Publish the block in the variable's block list.
-	lock := p.varLock(id)
-	lock.Lock()
-	defer lock.Unlock()
-	blocks, _, err := p.loadBlockList(id)
-	if err != nil {
-		return 0, false, err
-	}
-	blocks = append(blocks, blockRec{
-		dtype:  rec.dtype,
-		pool:   uint8(home),
-		offs:   append([]uint64(nil), offs...),
-		counts: append([]uint64(nil), counts...),
-		data:   blk,
-		encLen: int64(wrote),
-		crc:    crc,
-	})
-	if err := p.putValue(id, encodeBlockList(blocks)); err != nil {
-		return 0, false, err
-	}
-	p.invalidateCache(id)
-	return int64(wrote), false, nil
+	return plan.groups[0].units[0].wrote, false, nil
 }
 
 // LoadBlock fills dst with the block (offs, counts) of array id, gathering

@@ -152,7 +152,7 @@ func minOpenEpoch(leases map[uint64]int) (uint64, bool) {
 func (p *PMEM) deferOrFreeBlocks(owned []poolPMID) error {
 	st := p.st
 	if st.viewActive.Load() == 0 {
-		if err := p.freeBlocks(owned); err != nil {
+		if err := p.engine().freeBlocks(owned); err != nil {
 			return err
 		}
 		p.unquarantine(owned)
@@ -175,7 +175,8 @@ func (p *PMEM) deferOrFreeBlocks(owned []poolPMID) error {
 
 // reclaimLimbo frees every parked block whose defer epoch has drained (no
 // open lease at or before it). The free itself runs outside viewMu — it
-// takes pool transactions — and in ascending pool order via freeBlocks, so
+// takes pool transactions — and in ascending pool order via the commit
+// engine's freeBlocks, so
 // the persist sequence stays deterministic.
 func (p *PMEM) reclaimLimbo() error {
 	st := p.st
@@ -196,7 +197,7 @@ func (p *PMEM) reclaimLimbo() error {
 		return nil
 	}
 	st.ins.viewReclaimed.Add(int64(len(frees)))
-	return p.freeBlocks(frees)
+	return p.engine().freeBlocks(frees)
 }
 
 // ViewStats reports the lease layer's live state: open leases, blocks parked

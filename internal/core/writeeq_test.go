@@ -1,0 +1,266 @@
+package core_test
+
+// Write-path equivalence suite for the unified commit engine (writeplan.go):
+// the serial store, the parallel configuration at one worker, and the async
+// pipeline at a one-op coalesce window are different planners over the SAME
+// engine, so identical inputs must publish byte-identical metadata records —
+// same CRCs, same block layout (PMIDs and encoded lengths), same pool
+// placement — across codecs and pool counts. The comparison is on the raw
+// published bytes, which encode all of those.
+//
+// The abort-semantics test pins the shared failure contract: an allocation
+// failure on any planner aborts the pool transaction (one allocator abort,
+// nothing published), errors surface through the path's own channel (return
+// value or Future), and the handle keeps working.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pmemcpy/internal/core"
+	"pmemcpy/internal/mpi"
+	"pmemcpy/internal/node"
+	"pmemcpy/internal/serial"
+	"pmemcpy/internal/sim"
+)
+
+// eqModes are the three store modes the suite compares. "parallel" runs the
+// parallel configuration at w=1 (the engine must route it through the same
+// serial plan), "async" commits every submission as its own one-op batch.
+var eqModes = []string{"serial", "parallel", "async"}
+
+func eqNode(pools int) *node.Node {
+	var n *node.Node
+	if pools > 1 {
+		n = node.New(sim.DefaultConfig(), 64<<20, node.WithPMEMPools(pools))
+	} else {
+		n = node.New(sim.DefaultConfig(), 64<<20)
+	}
+	n.Machine.SetConcurrency(1)
+	return n
+}
+
+// eqRecords runs the canonical store script on a fresh store and returns
+// every published metadata record, keyed by id.
+func eqRecords(t *testing.T, codec string, pools int, mode string) map[string]string {
+	t.Helper()
+	opts := &core.Options{Codec: codec, Pools: pools}
+	switch mode {
+	case "parallel":
+		opts.Parallelism = 1
+	case "async":
+		opts.Async = true
+		opts.CoalesceWindow = 1
+	}
+	recs := map[string]string{}
+	n := eqNode(pools)
+	_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+		p, err := core.Mmap(c, n, "/eq.pool", core.OptionsArg(opts))
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		storeBlock := func(id string, offs, counts []uint64, data []byte) error {
+			if mode == "async" {
+				fut := p.StoreBlockAsync(id, offs, counts, data)
+				if err := p.Flush(ctx); err != nil {
+					return err
+				}
+				return fut.Wait(ctx)
+			}
+			return p.StoreBlock(id, offs, counts, data)
+		}
+		storeDatum := func(id string, d *serial.Datum) error {
+			if mode == "async" {
+				fut := p.StoreDatumAsync(id, d)
+				if err := p.Flush(ctx); err != nil {
+					return err
+				}
+				return fut.Wait(ctx)
+			}
+			return p.StoreDatum(id, d)
+		}
+
+		// The script: two block variables (one with overlapping appends), two
+		// whole values, and a fan of small variables that spreads over every
+		// member pool on a sharded namespace.
+		if err := p.Alloc("X", serial.Float64, []uint64{8, 16}); err != nil {
+			return err
+		}
+		for r := uint64(0); r < 8; r += 4 {
+			if err := storeBlock("X", []uint64{r, 0}, []uint64{4, 16}, eqPattern(4*16*8, byte(r))); err != nil {
+				return err
+			}
+		}
+		if err := p.Alloc("Y", serial.Int32, []uint64{16, 8}); err != nil {
+			return err
+		}
+		for _, rows := range [][2]uint64{{0, 4}, {4, 8}, {2, 6}} {
+			data := eqPattern(int(rows[1]-rows[0])*8*4, byte(rows[0]))
+			if err := storeBlock("Y", []uint64{rows[0], 0}, []uint64{rows[1] - rows[0], 8}, data); err != nil {
+				return err
+			}
+		}
+		if err := storeDatum("S", &serial.Datum{Type: serial.Bytes, Payload: []byte("unified write engine")}); err != nil {
+			return err
+		}
+		if err := storeDatum("D", &serial.Datum{Type: serial.Float64, Dims: []uint64{128}, Payload: eqPattern(128 * 8, 7)}); err != nil {
+			return err
+		}
+		for k := 0; k < 8; k++ {
+			id := fmt.Sprintf("var%d", k)
+			if err := p.Alloc(id, serial.Int32, []uint64{4, 4}); err != nil {
+				return err
+			}
+			if err := storeBlock(id, []uint64{0, 0}, []uint64{4, 4}, eqPattern(4*4*4, byte(k))); err != nil {
+				return err
+			}
+		}
+
+		keys, err := p.Keys()
+		if err != nil {
+			return err
+		}
+		for _, id := range keys {
+			raw, ok, err := p.RawValue(id)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("key %q listed but has no record", id)
+			}
+			recs[id] = string(raw)
+		}
+		return p.Munmap()
+	})
+	if err != nil {
+		t.Fatalf("%s/%s/pools=%d: %v", codec, mode, pools, err)
+	}
+	return recs
+}
+
+// eqPattern builds a deterministic payload of n bytes seeded by s.
+func eqPattern(n int, s byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*31 + s
+	}
+	return b
+}
+
+// TestWritePathEquivalence pins the engine contract: all three store modes
+// publish byte-identical records for identical inputs, across the bp4 and
+// raw codecs and across single- and four-pool namespaces.
+func TestWritePathEquivalence(t *testing.T) {
+	for _, codec := range []string{"bp4", "raw"} {
+		for _, pools := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/pools=%d", codec, pools), func(t *testing.T) {
+				base := eqRecords(t, codec, pools, eqModes[0])
+				if len(base) == 0 {
+					t.Fatal("script published no records")
+				}
+				for _, mode := range eqModes[1:] {
+					got := eqRecords(t, codec, pools, mode)
+					if len(got) != len(base) {
+						t.Errorf("%s published %d records, serial published %d", mode, len(got), len(base))
+					}
+					for id, want := range base {
+						g, ok := got[id]
+						if !ok {
+							t.Errorf("%s: record %q missing", mode, id)
+							continue
+						}
+						if g != want {
+							t.Errorf("%s: record %q differs from serial:\n got %x\nwant %x", mode, id, g, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCommitAbortSemantics pins the engine's shared failure contract across
+// the serial, parallel, and async planners: an allocation that cannot fit
+// aborts the pool transaction (exactly one allocator abort), publishes
+// nothing, surfaces the error on the path's own channel, and leaves the
+// handle usable.
+func TestCommitAbortSemantics(t *testing.T) {
+	for _, mode := range eqModes {
+		t.Run(mode, func(t *testing.T) {
+			opts := &core.Options{Codec: "raw"}
+			switch mode {
+			case "parallel":
+				opts.Parallelism = 4
+			case "async":
+				opts.Async = true
+				opts.CoalesceWindow = 1
+			}
+			// A 4 MB device yields a 3 MB pool; the 8 MB store below cannot
+			// allocate (on the parallel path, not even shard by shard).
+			n := node.New(sim.DefaultConfig(), 4<<20)
+			n.Machine.SetConcurrency(1)
+			_, err := mpi.Run(n.Machine, 1, func(c *mpi.Comm) error {
+				p, err := core.Mmap(c, n, "/abort.pool", core.OptionsArg(opts))
+				if err != nil {
+					return err
+				}
+				ctx := context.Background()
+				const rows = 1024
+				if err := p.Alloc("big", serial.Float64, []uint64{rows, 1024}); err != nil {
+					return err
+				}
+				before, err := p.Stats()
+				if err != nil {
+					return err
+				}
+				huge := make([]byte, rows*1024*8)
+				var storeErr error
+				if mode == "async" {
+					fut := p.StoreBlockAsync("big", []uint64{0, 0}, []uint64{rows, 1024}, huge)
+					_ = p.Flush(ctx)
+					storeErr = fut.Wait(ctx)
+				} else {
+					storeErr = p.StoreBlock("big", []uint64{0, 0}, []uint64{rows, 1024}, huge)
+				}
+				if storeErr == nil {
+					return fmt.Errorf("oversized store succeeded, want allocation failure")
+				}
+				after, err := p.Stats()
+				if err != nil {
+					return err
+				}
+				if got := after.Aborts - before.Aborts; got != 1 {
+					return fmt.Errorf("allocator aborts grew by %d, want exactly 1", got)
+				}
+				// Nothing published: the variable has dims but no blocks.
+				dst := make([]byte, 8)
+				err = p.LoadBlock("big", []uint64{0, 0}, []uint64{1, 1}, dst)
+				if !errors.Is(err, core.ErrNotFound) {
+					return fmt.Errorf("LoadBlock after abort = %v, want ErrNotFound", err)
+				}
+				// The handle stays usable: a store that fits commits and reads
+				// back through the same engine.
+				small := eqPattern(2*1024*8, 3)
+				if err := p.StoreBlock("big", []uint64{0, 0}, []uint64{2, 1024}, small); err != nil {
+					return fmt.Errorf("store after abort: %w", err)
+				}
+				got := make([]byte, len(small))
+				if err := p.LoadBlock("big", []uint64{0, 0}, []uint64{2, 1024}, got); err != nil {
+					return fmt.Errorf("load after abort: %w", err)
+				}
+				for i := range got {
+					if got[i] != small[i] {
+						return fmt.Errorf("byte %d = %d, want %d after recovery store", i, got[i], small[i])
+					}
+				}
+				return p.Munmap()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
